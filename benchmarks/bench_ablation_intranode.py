@@ -1,0 +1,130 @@
+"""E7 — ablations of the §IV design choices inside TDLB.
+
+Three axes the paper's methodology fixes by analysis; this bench
+verifies the analysis empirically on the model:
+
+1. **Intranode strategy** — the paper pairs a *linear* intranode phase
+   with inter-node dissemination.  Compare against running
+   dissemination intranode too (via an aware conduit, so both use
+   direct stores): the linear phase wins inside a node because the
+   memory system serializes everything anyway, so fewer notifications
+   (2(n−1) < n·log n) win outright.
+2. **Leader election** — lowest-index vs highest-index vs rotating
+   leaders: immaterial for latency on a symmetric node (asserted equal
+   to within 1%), which is why the paper can just designate one.
+3. **Transport-awareness vs algorithm restructuring** — an aware
+   conduit under the *flat* dissemination algorithm recovers only part
+   of TDLB's win: the paper's point that hierarchy must reach the
+   algorithm, not just the transport.
+"""
+
+from conftest import emit
+
+from repro.bench import barrier_benchmark, sweep
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+
+IPN = 8
+SWEEP = [(n * IPN, n) for n in (2, 8, 32)]
+
+#: flat dissemination but with hierarchy-aware transport (direct stores
+#: for same-node notifications) — ablation axis 3
+AWARE_FLAT = UHCAF_2LEVEL.with_(name="aware-flat", barrier="dissemination")
+
+
+def _latency(config):
+    def fn(images, nodes):
+        return barrier_benchmark(
+            images, images_per_node=IPN, config=config
+        ).seconds_per_op
+
+    return fn
+
+
+def test_algorithm_vs_transport_awareness(once):
+    def run():
+        return sweep(
+            "E7a: what the hierarchy must reach (barrier latency)",
+            configs=SWEEP,
+            systems=[
+                ("TDLB (aware algorithm + transport)", _latency(UHCAF_2LEVEL)),
+                ("flat dissemination + aware transport", _latency(AWARE_FLAT)),
+                ("flat dissemination, unaware", _latency(UHCAF_1LEVEL)),
+            ],
+        )
+
+    table = once(run)
+    emit(table)
+    tdlb = table.get("TDLB (aware algorithm + transport)")
+    aware_flat = table.get("flat dissemination + aware transport")
+    unaware = table.get("flat dissemination, unaware")
+    for label in table.labels:
+        # transport awareness alone already helps a lot...
+        assert aware_flat.values[label] < unaware.values[label]
+        # ...but restructuring the algorithm (TDLB) is needed for the rest
+        assert tdlb.values[label] < aware_flat.values[label]
+
+
+def test_leader_election_is_immaterial(once):
+    def run():
+        out = {}
+        for strategy in ("lowest", "highest", "rotating"):
+            cfg = UHCAF_2LEVEL.with_(leader_strategy=strategy)
+            out[strategy] = barrier_benchmark(
+                128, images_per_node=IPN, config=cfg
+            ).seconds_per_op
+        return out
+
+    results = once(run)
+    print()
+    print("E7b: leader election strategy, 128 images on 16 nodes")
+    for strategy, seconds in results.items():
+        print(f"  {strategy:10s} {seconds * 1e6:8.2f} us")
+    values = list(results.values())
+    assert max(values) <= min(values) * 1.01, (
+        "leader choice should not matter on a symmetric node"
+    )
+
+
+def test_linear_intranode_phase_beats_dissemination_intranode(once):
+    """One full node: compare the two intranode algorithms directly
+    (both over direct stores).
+
+    §IV-A argues linear wins "in the worst case, [when] all those
+    notifications would have to be serialized" — i.e. one memory
+    controller retiring everything.  We test exactly that (a
+    single-socket node), and also report the dual-controller node, where
+    parallel retirement narrows the gap to a near-tie: the serialization
+    assumption is load-bearing, which is worth knowing.
+    """
+    from dataclasses import replace
+
+    from repro.machine import paper_cluster
+
+    linear_cfg = UHCAF_2LEVEL.with_(barrier="linear", hierarchy_aware=True)
+
+    def run():
+        serial_spec = paper_cluster(1)
+        serial_spec = replace(
+            serial_spec, node=replace(serial_spec.node, sockets=1)
+        )
+        linear_1s = barrier_benchmark(
+            8, images_per_node=8, config=linear_cfg, spec=serial_spec
+        ).seconds_per_op
+        diss_1s = barrier_benchmark(
+            8, images_per_node=8, config=AWARE_FLAT, spec=serial_spec
+        ).seconds_per_op
+        linear_2s = barrier_benchmark(8, 8, linear_cfg).seconds_per_op
+        diss_2s = barrier_benchmark(8, 8, AWARE_FLAT).seconds_per_op
+        return linear_1s, diss_1s, linear_2s, diss_2s
+
+    linear_1s, diss_1s, linear_2s, diss_2s = once(run)
+    print()
+    print("E7c: single-node barrier, linear vs dissemination intranode phase")
+    print(f"  fully-serializing node : linear {linear_1s * 1e6:.2f} us vs "
+          f"dissemination {diss_1s * 1e6:.2f} us")
+    print(f"  dual-controller node   : linear {linear_2s * 1e6:.2f} us vs "
+          f"dissemination {diss_2s * 1e6:.2f} us")
+    # the paper's worst-case analysis: 2(n−1) < n·log n when serialized
+    assert linear_1s < diss_1s
+    # with parallel controllers the two are within ~15% either way
+    assert abs(linear_2s - diss_2s) < 0.15 * max(linear_2s, diss_2s)

@@ -1,0 +1,117 @@
+"""E8 — multi-level hierarchies (the paper's §VII future work, built).
+
+The paper's motivation is "many-core computing nodes"; its future work
+proposes extending the two tiers to NUMA domains.  This bench runs the
+3-level core/socket/node barrier (``tdlb-numa``) against 2-level TDLB
+and flat dissemination on a *fat* node (32 cores, 4 sockets — the
+many-core direction), sweeping the cross-socket memory-system penalty:
+
+* On the paper's dual-socket Opteron (factor ≈ 3, 150 ns) the extra
+  tier is nearly a wash — consistent with the paper deferring it.
+* As the cross-socket penalty grows (large multi-socket machines), the
+  socket tier's gain over plain TDLB grows monotonically, past 1.4× —
+  the quantitative case for the proposed extension.
+"""
+
+from dataclasses import replace
+
+from repro.bench import barrier_benchmark
+from repro.machine import paper_cluster
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+
+TDLB3 = UHCAF_2LEVEL.with_(name="uhcaf-3level", barrier="tdlb-numa")
+
+
+def fat_numa_spec(nodes, cross_factor, cores=32, sockets=4,
+                  cross_latency=300e-9):
+    spec = paper_cluster(nodes)
+    node = replace(
+        spec.node, cores=cores, sockets=sockets, smp_latency=cross_latency,
+        cross_socket_bus_factor=cross_factor,
+    )
+    return replace(spec, node=node)
+
+
+def test_numa_tier(once):
+    def run():
+        rows = []
+        for factor in (1.0, 3.0, 6.0, 12.0):
+            spec = fat_numa_spec(8, factor)
+            flat = barrier_benchmark(256, 32, UHCAF_1LEVEL, spec=spec).seconds_per_op
+            two = barrier_benchmark(256, 32, UHCAF_2LEVEL, spec=spec).seconds_per_op
+            three = barrier_benchmark(256, 32, TDLB3, spec=spec).seconds_per_op
+            rows.append((factor, flat, two, three))
+        return rows
+
+    rows = once(run)
+    print()
+    print("E8: 3-level (socket-aware) barrier, 256 images on 8 fat nodes "
+          "(32 cores / 4 sockets each)")
+    print(f"{'x-socket cost':>14} {'flat us':>10} {'2-level us':>11} "
+          f"{'3-level us':>11} {'3level gain':>12}")
+    gains = []
+    for factor, flat, two, three in rows:
+        gain = two / three
+        gains.append(gain)
+        print(f"{factor:13.0f}x {flat * 1e6:10.2f} {two * 1e6:11.2f} "
+              f"{three * 1e6:11.2f} {gain:11.2f}x")
+        # both hierarchical variants crush flat dissemination on many-core
+        assert two < flat / 10 and three < flat / 10
+
+    # benefit grows monotonically with the socket penalty...
+    assert gains == sorted(gains)
+    # ...modest at the paper's dual-socket class, real on fat NUMA
+    assert gains[0] < 1.2
+    assert gains[-1] > 1.4
+    print()
+
+
+def test_three_level_degenerates_gracefully(once):
+    """On the paper's own node (dual quad-core) the 3-level barrier must
+    not lose to TDLB — the extension is free when unneeded."""
+
+    def run():
+        two = barrier_benchmark(64, 8, UHCAF_2LEVEL).seconds_per_op
+        three = barrier_benchmark(64, 8, TDLB3).seconds_per_op
+        flat1 = barrier_benchmark(8, 1, UHCAF_2LEVEL).seconds_per_op
+        flat3 = barrier_benchmark(8, 1, TDLB3).seconds_per_op
+        return two, three, flat1, flat3
+
+    two, three, flat1, flat3 = once(run)
+    print()
+    print(f"E8b: paper node — 2-level {two * 1e6:.2f} us, "
+          f"3-level {three * 1e6:.2f} us; flat team: {flat1 * 1e6:.2f} vs "
+          f"{flat3 * 1e6:.2f} us")
+    assert three <= two * 1.05
+    # flat hierarchy: both degenerate to pure leader dissemination
+    assert flat3 == flat1
+
+
+def test_numa_tier_reduction(once):
+    """The socket tier applied to reduction (future work, extended):
+    three-level vs two-level co_sum on fat NUMA nodes."""
+    from repro.bench import reduce_benchmark
+
+    R3 = UHCAF_2LEVEL.with_(name="uhcaf-3level-reduce", reduce="three-level")
+
+    def run():
+        rows = []
+        for factor in (1.0, 6.0, 12.0):
+            spec = fat_numa_spec(8, factor)
+            two = reduce_benchmark(256, 32, UHCAF_2LEVEL, spec=spec).seconds_per_op
+            three = reduce_benchmark(256, 32, R3, spec=spec).seconds_per_op
+            rows.append((factor, two, three))
+        return rows
+
+    rows = once(run)
+    print()
+    print("E8c: 3-level reduction, 256 images on 8 fat nodes")
+    gains = []
+    for factor, two, three in rows:
+        gains.append(two / three)
+        print(f"  x-socket {factor:4.0f}x: 2-level {two * 1e6:8.2f} us, "
+              f"3-level {three * 1e6:8.2f} us ({two / three:.2f}x)")
+    # same shape as the barrier: monotone benefit, real on fat NUMA
+    assert gains == sorted(gains)
+    assert gains[-1] > 1.3
+    print()

@@ -1,0 +1,53 @@
+"""E1 — §V-A claim (1): flat hierarchy (one image per node).
+
+With every image alone on its node there is no intranode set to
+exploit, and TDLB must degenerate to the plain dissemination barrier:
+the paper reports it "performs as well as a pure dissemination
+algorithm in the case of a flat hierarchy".  This bench sweeps node
+counts at 1 image/node and checks exact parity.
+"""
+
+from conftest import emit
+
+from repro.bench import barrier_benchmark, sweep
+from repro.runtime.config import (
+    GASNET_IB_DISSEMINATION,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+)
+
+SWEEP = [(n, n) for n in (2, 4, 8, 16, 32, 44)]
+
+
+def _latency(config):
+    def fn(images, nodes):
+        return barrier_benchmark(
+            images, images_per_node=1, config=config
+        ).seconds_per_op
+
+    return fn
+
+
+def test_flat_hierarchy_parity(once):
+    def run():
+        return sweep(
+            "E1: barrier latency, 1 image per node (flat hierarchy)",
+            configs=SWEEP,
+            systems=[
+                ("TDLB (UHCAF 2level)", _latency(UHCAF_2LEVEL)),
+                ("pure dissemination (UHCAF 1level)", _latency(UHCAF_1LEVEL)),
+                ("dissemination over raw IB verbs", _latency(GASNET_IB_DISSEMINATION)),
+            ],
+        )
+
+    table = once(run)
+    tdlb = table.get("TDLB (UHCAF 2level)")
+    diss = table.get("pure dissemination (UHCAF 1level)")
+    emit(table, table.speedup_row("TDLB (UHCAF 2level)",
+                                  "pure dissemination (UHCAF 1level)"))
+    # Shape criterion: exact degeneration — TDLB == dissemination at
+    # every flat configuration (same algorithm after leader election).
+    for label in table.labels:
+        assert tdlb.values[label] == diss.values[label], (
+            f"TDLB failed to degenerate to dissemination at {label}"
+        )

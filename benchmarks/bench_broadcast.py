@@ -1,0 +1,85 @@
+"""E4 — one-to-all broadcast: the paper's "up to 3-fold" improvement.
+
+Two-level ``co_broadcast`` versus the flat binomial default, on the
+8-images-per-node sweep.  The broadcast baseline is already a tree (not
+the centralized reduction baseline), so its deficit is only the
+conduit-loopback cost of its intranode edges — hence the paper's modest
+3× rather than the reduction's 74×.  Asserted band at the paper-scale
+configurations (≥16 nodes): 1.5–5×.
+"""
+
+from conftest import emit
+
+from repro.bench import broadcast_benchmark, sweep
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+
+IPN = 8
+SWEEP = [(n * IPN, n) for n in (16, 32, 44)]
+
+
+def _latency(config, nelems):
+    def fn(images, nodes):
+        return broadcast_benchmark(
+            images, images_per_node=IPN, config=config, nelems=nelems
+        ).seconds_per_op
+
+    return fn
+
+
+def test_broadcast_latency(once):
+    def run():
+        return sweep(
+            "E4: co_broadcast latency, 8 images per node",
+            configs=SWEEP,
+            systems=[
+                ("two-level broadcast (UHCAF 2level)", _latency(UHCAF_2LEVEL, 1)),
+                ("flat binomial broadcast (default)", _latency(UHCAF_1LEVEL, 1)),
+            ],
+        )
+
+    table = once(run)
+    two = table.get("two-level broadcast (UHCAF 2level)")
+    flat = table.get("flat binomial broadcast (default)")
+    emit(table, table.speedup_row("two-level broadcast (UHCAF 2level)",
+                                  "flat binomial broadcast (default)"))
+    ratios = two.ratio_to(flat)
+    for label, ratio in ratios.items():
+        assert 1.5 <= ratio <= 6.0, (
+            f"broadcast improvement {ratio:.1f}x at {label} outside band"
+        )
+    # at the paper's full 44-node scale the factor sits in the ~3x band
+    assert ratios[table.labels[-1]] <= 4.5
+    # and narrows as node count grows (bandwidth terms take over)
+    ordered = [ratios[lbl] for lbl in table.labels]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_broadcast_message_sizes(once):
+    """At 44 nodes, larger payloads shrink the factor toward a
+    bandwidth-bound crossover: latency-class messages win ~3–4×, while by
+    ~32 KiB the wire/memcpy terms dominate both algorithms equally and
+    the two-level advantage evaporates (≈1×) — the broadcast improvement
+    is a *small-message* phenomenon, consistent with it being the
+    paper's most modest headline (3× vs the reduction's 74×)."""
+
+    def run():
+        rows = []
+        for ne in (1, 128, 4096):
+            t2 = _latency(UHCAF_2LEVEL, ne)(352, 44)
+            t1 = _latency(UHCAF_1LEVEL, ne)(352, 44)
+            rows.append((ne, t2 * 1e6, t1 * 1e6, t1 / t2))
+        return rows
+
+    rows = once(run)
+    print()
+    print("E4b: co_broadcast vs payload, 352 images on 44 nodes")
+    print(f"{'elems':>8} {'two-level us':>14} {'flat us':>12} {'ratio':>7}")
+    ratios = []
+    for ne, t2, t1, ratio in rows:
+        print(f"{ne:8d} {t2:14.2f} {t1:12.2f} {ratio:6.2f}x")
+        ratios.append(ratio)
+    # small messages: clear two-level win; monotone narrowing; crossover
+    # to parity (within 10%) by the largest payload
+    assert ratios[0] > 2.5
+    assert ratios == sorted(ratios, reverse=True)
+    assert 0.9 <= ratios[-1] <= 1.25

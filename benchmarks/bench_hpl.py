@@ -1,0 +1,60 @@
+"""E5 — Figure 1: HPL GFLOP/s across the paper's five configurations.
+
+Regenerates the figure's series at its exact x-axis points
+(4(4), 16(16), 16(2), 64(8), 256(32)) with all five systems.  Shape
+criteria from the paper's §V-B:
+
+* UHCAF 2level leads everywhere, reaching the ~95 GFLOP/s band at
+  256(32) (paper: 95);
+* the 2level-over-1level improvement peaks in the ~32% band (paper:
+  "up to 32%");
+* CAF 2.0 with the OpenUH backend lands *between* UHCAF 2level and
+  UHCAF 1level at 256 cores (paper: 80 vs 95 and ~72);
+* the GFortran backend collapses to the ~30 GFLOP/s band (paper:
+  29.48).
+
+This is the heaviest benchmark (~1–2 minutes): a full N=6144
+factorization is simulated 25 times.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench import figure1
+
+
+@pytest.mark.slow
+def test_figure1(once):
+    table = once(lambda: figure1())
+    two = table.get("UHCAF 2level")
+    one = table.get("UHCAF 1level")
+    gains = "  ".join(
+        f"{lbl}:{two.values[lbl] / one.values[lbl]:5.2f}x"
+        for lbl in table.labels
+    )
+    emit(table, f"2level improvement over 1level (GFLOP/s ratio):  {gains}")
+
+    caf_uh = table.get("CAF2.0 OpenUH backend")
+    caf_gf = table.get("CAF2.0 GFortran backend")
+    mpi = table.get("Open MPI (No tuning)")
+
+    for label in table.labels:
+        # 2level leads every configuration (values are GFLOP/s: higher wins)
+        for other in (one, caf_uh, caf_gf, mpi):
+            assert two.values[label] >= other.values[label] * 0.999, (
+                f"UHCAF 2level lost to {other.name} at {label}"
+            )
+        # the GFortran backend is far below every OpenUH-backed stack
+        assert caf_gf.values[label] < 0.5 * two.values[label]
+
+    big = "256(32)"
+    assert 80 <= two.values[big] <= 110, (
+        f"2level at 256 cores: {two.values[big]:.1f} GF, paper band ~95"
+    )
+    improvement = two.values[big] / one.values[big]
+    assert 1.2 <= improvement <= 1.45, (
+        f"2level/1level {improvement:.2f} at 256 cores, paper band ~1.32"
+    )
+    assert 20 <= caf_gf.values[big] <= 40, "GFortran band ~29.48"
+    # paper ordering at 256 cores: 2level > CAF2.0-OpenUH > 1level
+    assert two.values[big] > caf_uh.values[big] > one.values[big]

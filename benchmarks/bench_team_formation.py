@@ -1,0 +1,102 @@
+"""E9 — the cost of ``form team`` and what it buys (§III).
+
+The paper's runtime computes the index-mapping array and the hierarchy
+metadata once, at team formation, so collectives do zero topology work
+per call.  This bench measures (a) formation cost versus team-count and
+scale — it is a real collective exchange, growing with the parent team —
+and (b) the amortization: after forming row teams, per-barrier latency
+on a team is *cheaper* than on the initial team, so a handful of
+barriers already pays the formation back.
+"""
+
+from repro.machine import paper_cluster
+from repro.runtime.config import UHCAF_2LEVEL
+from repro.runtime.program import run_spmd
+
+
+def formation_cost(images, ipn, num_teams):
+    """Seconds to execute one form_team splitting into ``num_teams``."""
+
+    def main(ctx):
+        t0 = ctx.now
+        yield from ctx.form_team((ctx.this_image() - 1) % num_teams + 1)
+        return ctx.now - t0
+
+    nodes = max(-(-images // ipn), 1)
+    result = run_spmd(main, num_images=images, images_per_node=ipn,
+                      spec=paper_cluster(nodes), config=UHCAF_2LEVEL)
+    return max(result.results)
+
+
+def team_barrier_cost(images, ipn, num_teams, iters=8):
+    """(formation seconds, per-barrier seconds on the formed team).
+
+    Teams are *contiguous* blocks of images (the paper's loosely-coupled
+    subproblem decomposition), so each subteam occupies a node-aligned
+    slice of the cluster — strided teams would instead overlap on every
+    node and contend for each node's conduit engine.
+    """
+    per_team = images // num_teams
+
+    def main(ctx):
+        t0 = ctx.now
+        team = yield from ctx.form_team((ctx.this_image() - 1) // per_team + 1)
+        yield from ctx.change_team(team)
+        t_formed = ctx.now
+        yield from ctx.sync_all()
+        t1 = ctx.now
+        for _ in range(iters):
+            yield from ctx.sync_all()
+        per_barrier = (ctx.now - t1) / iters
+        yield from ctx.end_team()
+        return (t_formed - t0, per_barrier)
+
+    nodes = max(-(-images // ipn), 1)
+    result = run_spmd(main, num_images=images, images_per_node=ipn,
+                      spec=paper_cluster(nodes), config=UHCAF_2LEVEL)
+    return (max(r[0] for r in result.results),
+            max(r[1] for r in result.results))
+
+
+def test_formation_cost_scales_with_parent_team(once):
+    def run():
+        return {images: formation_cost(images, 8, 4)
+                for images in (16, 64, 176, 352)}
+
+    costs = once(run)
+    print()
+    print("E9a: form_team cost vs parent-team size (4 subteams)")
+    for images, seconds in costs.items():
+        print(f"  {images:4d} images: {seconds * 1e6:9.2f} us")
+    sizes = sorted(costs)
+    # collective exchange through index 1: cost grows with team size
+    for a, b in zip(sizes, sizes[1:]):
+        assert costs[b] > costs[a]
+
+
+def test_formation_amortizes_quickly(once):
+    def run():
+        return team_barrier_cost(128, 8, num_teams=4)
+
+    formation, per_barrier = once(run)
+    # a full-team barrier for comparison
+    def full(ctx):
+        yield from ctx.sync_all()
+        t0 = ctx.now
+        for _ in range(8):
+            yield from ctx.sync_all()
+        return (ctx.now - t0) / 8
+
+    full_result = run_spmd(full, num_images=128, images_per_node=8,
+                           spec=paper_cluster(16), config=UHCAF_2LEVEL)
+    full_barrier = max(full_result.results)
+    saving = full_barrier - per_barrier
+    breakeven = formation / saving if saving > 0 else float("inf")
+    print()
+    print(f"E9b: formation {formation * 1e6:.1f} us; subteam barrier "
+          f"{per_barrier * 1e6:.2f} us vs full-team {full_barrier * 1e6:.2f} us; "
+          f"break-even after {breakeven:.0f} barriers")
+    # a subteam (quarter of the images, fewer nodes) barriers faster
+    assert per_barrier < full_barrier
+    # and formation pays for itself within a realistic number of calls
+    assert breakeven < 200

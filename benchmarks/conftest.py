@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one of the paper's reported
+results (see DESIGN.md §4 for the experiment index).  The pattern:
+
+* the *simulated* latencies/GFLOP/s are the reproduction's result —
+  printed as a paper-style table and shape-checked with assertions, so a
+  calibration regression fails the suite loudly;
+* ``benchmark.pedantic`` wraps the simulation run so pytest-benchmark
+  also reports the harness's wall-clock cost (useful for tracking the
+  simulator's own performance).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table, *extra_lines):
+    """Print a result table (and summary lines) so ``-s`` runs show the
+    paper-style output."""
+    print()
+    print(table.render())
+    for line in extra_lines:
+        print(line)
+    print()
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once under pytest-benchmark
+    (simulations are deterministic — repeated rounds add nothing)."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Distributed 1-D FFT via the transpose algorithm (HPCC's FFT kernel).
+
+Drives :func:`repro.apps.distributed_fft`: transpose → row FFT(N1) →
+twiddle → transpose → row FFT(N2).  Two all-to-alls bracket purely
+local math — which is why the HPCC FFT is the canonical alltoall
+workload.  The result is verified element-by-element against
+``numpy.fft.fft`` and both alltoall strategies are timed.
+
+    python examples/distributed_fft.py
+"""
+
+import numpy as np
+
+from repro import UHCAF_2LEVEL, run_spmd
+from repro.apps import distributed_fft, reassemble_fft
+
+N1, N2 = 32, 32           # N = N1 * N2 signal
+
+
+def main(ctx, signal):
+    me = ctx.this_image()
+    rows = N1 // ctx.num_images()
+    mine = signal.reshape(N1, N2)[(me - 1) * rows: me * rows]
+    out = yield from distributed_fft(ctx, mine, N1, N2)
+    return out
+
+
+if __name__ == "__main__":
+    rng = np.random.default_rng(11)
+    signal = rng.random(N1 * N2) + 1j * rng.random(N1 * N2)
+
+    result = run_spmd(main, num_images=16, images_per_node=8,
+                      config=UHCAF_2LEVEL, args=(signal,))
+    got = reassemble_fft(np.vstack(result.results))
+    reference = np.fft.fft(signal)
+    err = np.linalg.norm(got - reference) / np.linalg.norm(reference)
+    print(f"distributed FFT of {N1 * N2} points over 16 images")
+    print(f"relative error vs numpy.fft.fft: {err:.2e}")
+    assert err < 1e-12
+
+    for strategy in ("two-level", "pairwise-flat"):
+        config = UHCAF_2LEVEL.with_(alltoall=strategy)
+        r = run_spmd(main, num_images=16, images_per_node=8,
+                     config=config, args=(signal,))
+        print(f"  alltoall {strategy:14s} {r.time * 1e6:9.1f} simulated us")

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""HPL on teams: verified small run + a Figure-1-style comparison point.
+
+First runs the CAF HPL port in *verification* mode (real NumPy
+arithmetic on a 256×256 system, residual-checked), then times a larger
+model-mode factorization on 64 images / 8 nodes under three runtime
+stacks to show the Figure-1 effect: the same HPL source, different
+GFLOP/s depending on whether the runtime's collectives understand the
+memory hierarchy.
+
+    python examples/hpl_demo.py
+"""
+
+from repro.hpl import run_hpl
+from repro.runtime.config import CAF20_GFORTRAN, UHCAF_1LEVEL, UHCAF_2LEVEL
+
+if __name__ == "__main__":
+    print("== verification run: N=256, NB=32, 16 images on 2 nodes ==")
+    report = run_hpl(n=256, nb=32, num_images=16, images_per_node=8,
+                     config=UHCAF_2LEVEL, verify=True)
+    print(f"  grid {report.p}x{report.q}, simulated {report.seconds * 1e3:.2f} ms, "
+          f"{report.gflops:.2f} GFLOP/s")
+    print(f"  ||A - L.U|| / ||A|| = {report.residual:.2e}")
+    assert report.residual < 1e-12, "factorization must be numerically correct"
+
+    print()
+    print("== model-mode comparison: N=2048, NB=128, 64 images on 8 nodes ==")
+    for config in (UHCAF_2LEVEL, UHCAF_1LEVEL, CAF20_GFORTRAN):
+        report = run_hpl(n=2048, nb=128, num_images=64, images_per_node=8,
+                         config=config)
+        print(f"  {config.name:18s} {report.gflops:7.2f} GFLOP/s "
+              f"({report.seconds:.3f} simulated seconds)")
+    print()
+    print("Same algorithm, same machine — the spread is the runtime stack:")
+    print("hierarchy-aware collectives (2level) vs flat ones (1level) vs a")
+    print("weaker compiler backend (CAF 2.0 + GFortran).")

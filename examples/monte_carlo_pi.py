@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Monte Carlo π with dynamic load balancing via atomics.
+
+Work units (blocks of random samples) are handed out by a shared atomic
+counter on image 1 — every image does ``atomic_fetch_add`` to claim the
+next block, so faster images naturally take more work (here some images
+are artificially "slow", as if sharing their node with noisy
+neighbours).  Partial sums are combined at the end with the two-level
+``co_sum``.  A lock-protected results table shows the ``lock``/
+``unlock`` API on the side.
+
+    python examples/monte_carlo_pi.py
+"""
+
+import numpy as np
+
+from repro import UHCAF_2LEVEL, run_spmd
+
+TOTAL_BLOCKS = 64
+SAMPLES_PER_BLOCK = 20_000
+
+
+def main(ctx):
+    me = ctx.this_image()
+    next_block = yield from ctx.atomic_var("next_block")
+    table = yield from ctx.allocate("table", (ctx.num_images(),))
+    table_lock = yield from ctx.lock_var("table_lock")
+
+    # images 3 and 7 are 4x slower per block (noisy-neighbour model)
+    slowdown = 4.0 if me in (3, 7) else 1.0
+
+    rng = np.random.default_rng(me)
+    hits = 0
+    samples = 0
+    blocks_done = 0
+    while True:
+        block = yield from ctx.atomic_fetch_add(next_block, 1, 1)
+        if block >= TOTAL_BLOCKS:
+            break
+        xy = rng.random((SAMPLES_PER_BLOCK, 2))
+        hits += int(((xy ** 2).sum(axis=1) <= 1.0).sum())
+        samples += SAMPLES_PER_BLOCK
+        blocks_done += 1
+        yield ctx.compute_cost(6 * SAMPLES_PER_BLOCK * slowdown)
+
+    # lock-protected publication of per-image block counts on image 1
+    yield from ctx.lock(table_lock, 1)
+    yield from ctx.put(table, 1, float(blocks_done), index=me - 1)
+    yield from ctx.unlock(table_lock, 1)
+
+    total_hits = yield from ctx.co_sum(hits)
+    total_samples = yield from ctx.co_sum(samples)
+    yield from ctx.sync_all()
+    pi = 4.0 * total_hits / total_samples
+    counts = ctx.local(table).copy() if me == 1 else None
+    return (pi, blocks_done, counts)
+
+
+if __name__ == "__main__":
+    result = run_spmd(main, num_images=8, images_per_node=8,
+                      config=UHCAF_2LEVEL)
+    pi, _, counts = result.results[0]
+    print(f"pi ≈ {pi:.5f}  (error {abs(pi - np.pi):.5f}, "
+          f"{TOTAL_BLOCKS * SAMPLES_PER_BLOCK:,} samples)")
+    print(f"simulated time: {result.time * 1e3:.2f} ms")
+    print("blocks claimed per image:", [int(c) for c in counts])
+    slow = counts[2] + counts[6]
+    fast = sum(counts) - slow
+    print(f"slow images (3, 7) claimed {int(slow)} blocks; "
+          f"fast ones {int(fast)} — the atomic counter balanced the load.")
+    assert sum(counts) == TOTAL_BLOCKS
+    assert abs(pi - np.pi) < 0.01

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Run the Teams Microbenchmark suite from the command line.
+
+A compact CLI over :mod:`repro.bench.microbench` — the paper's §V-A
+evaluation in one command.  Prints the paper-style comparison tables for
+barrier, all-to-all reduction, and one-to-all broadcast.
+
+    python examples/teams_microbenchmark.py                 # default sweep
+    python examples/teams_microbenchmark.py --nodes 2 8 44  # custom sweep
+    python examples/teams_microbenchmark.py --ipn 4         # images/node
+"""
+
+import argparse
+
+from repro.bench import (
+    barrier_benchmark,
+    broadcast_benchmark,
+    mpi_barrier_benchmark,
+    reduce_benchmark,
+    sweep,
+)
+from repro.runtime.config import (
+    CAF20_OPENUH,
+    GASNET_IB_DISSEMINATION,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+)
+
+
+def barrier_table(configs, ipn):
+    def caf(config):
+        return lambda images, nodes: barrier_benchmark(
+            images, images_per_node=ipn, config=config).seconds_per_op
+
+    def mpi(tuning):
+        return lambda images, nodes: mpi_barrier_benchmark(
+            images, images_per_node=ipn, tuning=tuning)
+
+    return sweep(
+        f"Barrier latency, {ipn} image(s) per node",
+        configs=configs,
+        systems=[
+            ("TDLB (UHCAF 2level)", caf(UHCAF_2LEVEL)),
+            ("UHCAF pure dissemination", caf(UHCAF_1LEVEL)),
+            ("GASNet IB dissemination", caf(GASNET_IB_DISSEMINATION)),
+            ("CAF 2.0", caf(CAF20_OPENUH)),
+            ("MPI MVAPICH", mpi("mvapich")),
+            ("MPI Open MPI", mpi("openmpi")),
+            ("MPI Open MPI hierarch", mpi("openmpi-hierarch")),
+        ],
+    )
+
+
+def reduce_table(configs, ipn, nelems):
+    def caf(config):
+        return lambda images, nodes: reduce_benchmark(
+            images, images_per_node=ipn, config=config, nelems=nelems
+        ).seconds_per_op
+
+    return sweep(
+        f"co_sum latency, {nelems} element(s), {ipn} image(s) per node",
+        configs=configs,
+        systems=[
+            ("two-level reduction", caf(UHCAF_2LEVEL)),
+            ("default UHCAF reduction", caf(UHCAF_1LEVEL)),
+            ("CAF 2.0 (binomial)", caf(CAF20_OPENUH)),
+        ],
+    )
+
+
+def broadcast_table(configs, ipn, nelems):
+    def caf(config):
+        return lambda images, nodes: broadcast_benchmark(
+            images, images_per_node=ipn, config=config, nelems=nelems
+        ).seconds_per_op
+
+    return sweep(
+        f"co_broadcast latency, {nelems} element(s), {ipn} image(s) per node",
+        configs=configs,
+        systems=[
+            ("two-level broadcast", caf(UHCAF_2LEVEL)),
+            ("flat binomial broadcast", caf(UHCAF_1LEVEL)),
+            ("CAF 2.0 (binomial)", caf(CAF20_OPENUH)),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[2, 8, 44])
+    parser.add_argument("--ipn", type=int, default=8,
+                        help="images per node (default 8, the paper's)")
+    parser.add_argument("--nelems", type=int, default=1,
+                        help="reduction/broadcast payload elements")
+    args = parser.parse_args()
+
+    configs = [(n * args.ipn, n) for n in args.nodes]
+    for table in (
+        barrier_table(configs, args.ipn),
+        reduce_table(configs, args.ipn, args.nelems),
+        broadcast_table(configs, args.ipn, args.nelems),
+    ):
+        print(table.render())
+        print()

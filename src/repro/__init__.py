@@ -1,0 +1,95 @@
+"""repro — a simulated reproduction of "A Team-Based Methodology of
+Memory Hierarchy-Aware Runtime Support in Coarray Fortran" (Khaldi et
+al., 2015).
+
+The package provides a deterministic discrete-event-simulated Coarray
+Fortran runtime with Fortran 2015 teams, the paper's memory-hierarchy-
+aware collectives (TDLB barrier, two-level reduction and broadcast), the
+comparator stacks it was evaluated against (GASNet conduits, CAF 2.0,
+MPI), the Teams Microbenchmark suite, and a CAF port of HPL.
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_spmd, UHCAF_2LEVEL
+
+    def main(ctx):
+        me = ctx.this_image()
+        a = yield from ctx.allocate("a", (8,), dtype=np.float64)
+        ctx.local(a)[:] = me
+        yield from ctx.sync_all()
+        total = yield from ctx.co_sum(float(me))
+        return total
+
+    result = run_spmd(main, num_images=16, images_per_node=8,
+                      config=UHCAF_2LEVEL)
+"""
+
+from ._version import __version__
+from .calibration import (
+    CAF20_GASNET,
+    DIRECT_SMP,
+    GASNET_RDMA,
+    IB_VERBS,
+    MPI_NATIVE,
+    ConduitProfile,
+)
+from .machine import (
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    Placement,
+    Topology,
+    block_placement,
+    cyclic_placement,
+    paper_cluster,
+)
+from .runtime import (
+    CAF20_GFORTRAN,
+    RmaHandle,
+    CAF20_OPENUH,
+    GASNET_IB_DISSEMINATION,
+    NAMED_CONFIGS,
+    OPENMPI_GCC,
+    CafContext,
+    Coarray,
+    RuntimeConfig,
+    SpmdResult,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+    run_spmd,
+)
+from .teams import HierarchyInfo, TeamView
+
+__all__ = [
+    "__version__",
+    "run_spmd",
+    "CafContext",
+    "SpmdResult",
+    "RmaHandle",
+    "Coarray",
+    "TeamView",
+    "HierarchyInfo",
+    "RuntimeConfig",
+    "UHCAF_2LEVEL",
+    "UHCAF_1LEVEL",
+    "GASNET_IB_DISSEMINATION",
+    "CAF20_OPENUH",
+    "CAF20_GFORTRAN",
+    "OPENMPI_GCC",
+    "NAMED_CONFIGS",
+    "ConduitProfile",
+    "DIRECT_SMP",
+    "IB_VERBS",
+    "GASNET_RDMA",
+    "CAF20_GASNET",
+    "MPI_NATIVE",
+    "MachineSpec",
+    "NodeSpec",
+    "NetworkSpec",
+    "Placement",
+    "Topology",
+    "paper_cluster",
+    "block_placement",
+    "cyclic_placement",
+]

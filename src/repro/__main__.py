@@ -1,0 +1,41 @@
+"""``python -m repro`` — the reproduction report.
+
+Runs the headline experiments (E1–E5) and prints the paper-vs-measured
+markdown table.  Use ``--quick`` for a reduced sweep, ``-o FILE`` to
+write the report to disk.  For individual experiment tables use
+``python -m repro.bench``; for the full assertion-guarded suite run
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import render_report, run_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps (seconds instead of minutes)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the markdown report to this file")
+    args = parser.parse_args(argv)
+
+    claims = run_report(quick=args.quick)
+    text = render_report(claims)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0 if all(c.ok for c in claims) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Application kernels built on the public runtime API.
+
+Beyond HPL (which has its own package, :mod:`repro.hpl`), these are the
+workloads the reproduction uses to exercise the runtime the way real
+codes do — each verifiable against a NumPy reference:
+
+* :mod:`~repro.apps.cg` — distributed conjugate gradient (latency-bound
+  allreduces + halo exchange);
+* :mod:`~repro.apps.transpose` — all-to-all matrix transpose (the
+  communication core of distributed FFTs / HPCC PTRANS);
+* :mod:`~repro.apps.fft` — the transpose-based distributed 1-D FFT;
+* :mod:`~repro.apps.stencil` — Jacobi heat diffusion with pairwise
+  synchronization and team-partitioned domains.
+"""
+
+from .cg import cg_solve
+from .fft import distributed_fft, reassemble_fft
+from .stencil import jacobi_solve
+from .transpose import distributed_transpose
+
+__all__ = [
+    "cg_solve",
+    "distributed_fft",
+    "reassemble_fft",
+    "jacobi_solve",
+    "distributed_transpose",
+]

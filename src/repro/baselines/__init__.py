@@ -1,0 +1,15 @@
+"""Comparator stacks the paper evaluates against: GASNet conduits,
+Rice CAF 2.0, and a miniature MPI with three collective tunings."""
+
+from . import caf20, gasnet
+from .mpi import MPI_TUNINGS, Communicator, MpiContext, MpiWorld, run_mpi
+
+__all__ = [
+    "caf20",
+    "gasnet",
+    "run_mpi",
+    "MpiWorld",
+    "MpiContext",
+    "Communicator",
+    "MPI_TUNINGS",
+]

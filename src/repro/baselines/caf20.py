@@ -1,0 +1,30 @@
+"""Rice CAF 2.0 comparator: first-class teams, flat collectives.
+
+CAF 2.0 [Mellor-Crummey et al., PGAS'09] had teams from inception but no
+memory-hierarchy information (§VI of the paper).  Its barrier is the
+two-sync-array dissemination of Mellor-Crummey & Scott (Algorithm 9);
+its collectives are flat binomial trees; its source-to-source
+compilation (ROSE front-end, GFortran or OpenUH as backend) adds glue
+cost on every runtime call and — with the GFortran backend — markedly
+poorer generated compute code, which is why Figure 1 shows 29.48 vs 80
+GFLOP/s for the two backends.
+
+The model lives in the conduit profile
+:data:`repro.calibration.CAF20_GASNET` plus the two configs re-exported
+here; the two-array barrier itself is
+:func:`repro.collectives.barrier.barrier_dissemination_mcs`.
+"""
+
+from __future__ import annotations
+
+from ..calibration import CAF20_GASNET, ConduitProfile
+from ..runtime.config import CAF20_GFORTRAN, CAF20_OPENUH, RuntimeConfig
+
+__all__ = ["PROFILE", "OPENUH_BACKEND", "GFORTRAN_BACKEND"]
+
+#: CAF 2.0's conduit: GASNet plus source-to-source dispatch glue
+PROFILE: ConduitProfile = CAF20_GASNET
+#: CAF 2.0 compiled with OpenUH as the backend Fortran compiler
+OPENUH_BACKEND: RuntimeConfig = CAF20_OPENUH
+#: CAF 2.0 compiled with GFortran 4.4.7 (the paper's default backend)
+GFORTRAN_BACKEND: RuntimeConfig = CAF20_GFORTRAN

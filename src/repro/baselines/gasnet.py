@@ -1,0 +1,46 @@
+"""GASNet conduit models: the communication layers under UHCAF and CAF 2.0.
+
+The paper's §V-A compares barriers over two GASNet-provided paths:
+
+* **GASNet RDMA dissemination** — dissemination implemented with GASNet
+  put operations.  GASNet 1.22's ibv conduit routes every put through a
+  per-node progress engine (HCA lock + completion-queue reaping), and —
+  without PSHM — loops same-node puts through the Active-Message path,
+  where delivery waits on the target's poll.  Modeled by
+  :data:`repro.calibration.GASNET_RDMA` (``serialize_overhead=True``,
+  large ``local_overhead``/``loopback_penalty``).
+* **GASNet IB dissemination** — the same algorithm implemented directly
+  on the InfiniBand verbs GASNet exposes: per-image queue pairs, no
+  shared progress engine, a thin software path.  Modeled by
+  :data:`repro.calibration.IB_VERBS`.
+
+This module exposes the two profiles and helpers for building runtime
+configs over them, so benchmark code reads ``gasnet.RDMA`` instead of
+reaching into calibration constants.
+"""
+
+from __future__ import annotations
+
+from ..calibration import GASNET_RDMA, IB_VERBS, ConduitProfile
+from ..runtime.config import RuntimeConfig
+
+__all__ = ["RDMA", "VERBS", "dissemination_over"]
+
+#: the GASNet RDMA-put path (UHCAF's and CAF 2.0's transport)
+RDMA: ConduitProfile = GASNET_RDMA
+#: raw InfiniBand verbs (the low-level reference implementation)
+VERBS: ConduitProfile = IB_VERBS
+
+
+def dissemination_over(profile: ConduitProfile, name: str) -> RuntimeConfig:
+    """A hierarchy-unaware, dissemination-everything stack over ``profile``
+    — the §V-A comparison lines (1) and (2)."""
+    return RuntimeConfig(
+        name=name,
+        conduit_profile=profile,
+        hierarchy_aware=False,
+        barrier="dissemination",
+        reduce="binomial-flat",
+        broadcast="binomial-flat",
+        backend="openuh",
+    )

@@ -1,0 +1,143 @@
+"""Command-line front end for the reproduction's experiment suite.
+
+    python -m repro.bench barrier            # E1 + E2 tables
+    python -m repro.bench reduce             # E3
+    python -m repro.bench broadcast          # E4
+    python -m repro.bench hpl                # E5 (Figure 1; ~1.5 min)
+    python -m repro.bench hpl --quick        # reduced Figure 1
+    python -m repro.bench all                # everything above
+
+(The ablation experiments E6–E10 live in ``benchmarks/`` and run under
+``pytest benchmarks/ --benchmark-only -s``, where their assertions guard
+the reproduction's shape criteria.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..runtime.config import (
+    CAF20_OPENUH,
+    GASNET_IB_DISSEMINATION,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+)
+from .hplbench import figure1
+from .microbench import (
+    barrier_benchmark,
+    broadcast_benchmark,
+    mpi_barrier_benchmark,
+    reduce_benchmark,
+    sweep,
+)
+
+
+def _run_barrier(nodes: list[int], ipn: int) -> None:
+    flat = sweep(
+        "E1: barrier latency, 1 image per node (flat hierarchy)",
+        configs=[(n, n) for n in nodes],
+        systems=[
+            ("TDLB (UHCAF 2level)",
+             lambda i, n: barrier_benchmark(i, 1, UHCAF_2LEVEL).seconds_per_op),
+            ("pure dissemination (UHCAF 1level)",
+             lambda i, n: barrier_benchmark(i, 1, UHCAF_1LEVEL).seconds_per_op),
+        ],
+    )
+    print(flat.render())
+    print()
+    hier = sweep(
+        f"E2: barrier latency, {ipn} images per node",
+        configs=[(n * ipn, n) for n in nodes],
+        systems=[
+            ("TDLB (UHCAF 2level)",
+             lambda i, n: barrier_benchmark(i, ipn, UHCAF_2LEVEL).seconds_per_op),
+            ("UHCAF pure dissemination",
+             lambda i, n: barrier_benchmark(i, ipn, UHCAF_1LEVEL).seconds_per_op),
+            ("GASNet IB dissemination",
+             lambda i, n: barrier_benchmark(
+                 i, ipn, GASNET_IB_DISSEMINATION).seconds_per_op),
+            ("CAF 2.0",
+             lambda i, n: barrier_benchmark(i, ipn, CAF20_OPENUH).seconds_per_op),
+            ("MPI MVAPICH",
+             lambda i, n: mpi_barrier_benchmark(i, ipn, "mvapich")),
+            ("MPI Open MPI hierarch",
+             lambda i, n: mpi_barrier_benchmark(i, ipn, "openmpi-hierarch")),
+        ],
+    )
+    print(hier.render())
+    print()
+    print(hier.speedup_row("TDLB (UHCAF 2level)", "UHCAF pure dissemination"))
+
+
+def _run_reduce(nodes: list[int], ipn: int, nelems: int) -> None:
+    table = sweep(
+        f"E3: co_sum latency, {nelems} element(s), {ipn} images per node",
+        configs=[(n * ipn, n) for n in nodes],
+        systems=[
+            ("two-level reduction",
+             lambda i, n: reduce_benchmark(
+                 i, ipn, UHCAF_2LEVEL, nelems=nelems).seconds_per_op),
+            ("default UHCAF reduction",
+             lambda i, n: reduce_benchmark(
+                 i, ipn, UHCAF_1LEVEL, nelems=nelems).seconds_per_op),
+        ],
+    )
+    print(table.render())
+    print()
+    print(table.speedup_row("two-level reduction", "default UHCAF reduction"))
+
+
+def _run_broadcast(nodes: list[int], ipn: int, nelems: int) -> None:
+    table = sweep(
+        f"E4: co_broadcast latency, {nelems} element(s), {ipn} images per node",
+        configs=[(n * ipn, n) for n in nodes],
+        systems=[
+            ("two-level broadcast",
+             lambda i, n: broadcast_benchmark(
+                 i, ipn, UHCAF_2LEVEL, nelems=nelems).seconds_per_op),
+            ("flat binomial broadcast",
+             lambda i, n: broadcast_benchmark(
+                 i, ipn, UHCAF_1LEVEL, nelems=nelems).seconds_per_op),
+        ],
+    )
+    print(table.render())
+    print()
+    print(table.speedup_row("two-level broadcast", "flat binomial broadcast"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiment",
+                        choices=["barrier", "reduce", "broadcast", "hpl", "all"])
+    parser.add_argument("--nodes", type=int, nargs="+", default=[2, 8, 16, 44],
+                        help="node counts to sweep (default: 2 8 16 44)")
+    parser.add_argument("--ipn", type=int, default=8,
+                        help="images per node (default 8, the paper's)")
+    parser.add_argument("--nelems", type=int, default=1,
+                        help="payload elements for reduce/broadcast")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced HPL sweep (smaller N, fewer points)")
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("barrier", "all"):
+        _run_barrier(args.nodes, args.ipn)
+        print()
+    if args.experiment in ("reduce", "all"):
+        _run_reduce(args.nodes, args.ipn, args.nelems)
+        print()
+    if args.experiment in ("broadcast", "all"):
+        _run_broadcast(args.nodes, args.ipn, args.nelems)
+        print()
+    if args.experiment in ("hpl", "all"):
+        table = figure1(quick=args.quick)
+        print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

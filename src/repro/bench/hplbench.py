@@ -1,0 +1,69 @@
+"""Figure-1 harness: HPL GFLOP/s across the paper's five configurations.
+
+Regenerates the exact series of Figure 1 — ``UHCAF 2level``,
+``UHCAF 1level``, ``CAF2.0 OpenUH backend``, ``CAF2.0 GFortran
+backend``, ``Open MPI (No tuning)`` — at the paper's x-axis points
+``4(4), 16(16), 16(2), 64(8), 256(32)``.
+
+Problem size: the paper does not state N; we use N=6144, NB=128, the
+size at which the calibrated model reproduces the paper's absolute
+256-core numbers (94.6 vs 95 GFLOP/s for UHCAF 2level) — see
+EXPERIMENTS.md.  ``quick=True`` shrinks the sweep for CI-speed runs
+while preserving the orderings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..hpl import run_hpl
+from ..runtime.config import NAMED_CONFIGS
+from .tables import ResultTable, Series, config_label
+
+__all__ = ["FIGURE1_CONFIGS", "FIGURE1_SYSTEMS", "figure1", "FIGURE1_N", "FIGURE1_NB"]
+
+#: the paper's x axis: (images, nodes)
+FIGURE1_CONFIGS: List[Tuple[int, int]] = [
+    (4, 4), (16, 16), (16, 2), (64, 8), (256, 32),
+]
+
+#: legend name → runtime config name, in the paper's legend order
+FIGURE1_SYSTEMS: List[Tuple[str, str]] = [
+    ("UHCAF 2level", "uhcaf-2level"),
+    ("UHCAF 1level", "uhcaf-1level"),
+    ("CAF2.0 OpenUH backend", "caf2.0-openuh"),
+    ("CAF2.0 GFortran backend", "caf2.0-gfortran"),
+    ("Open MPI (No tuning)", "openmpi-gcc"),
+]
+
+FIGURE1_N = 6144
+FIGURE1_NB = 128
+
+
+def figure1(
+    n: int = FIGURE1_N,
+    nb: int = FIGURE1_NB,
+    configs: Sequence[Tuple[int, int]] = tuple(FIGURE1_CONFIGS),
+    systems: Sequence[Tuple[str, str]] = tuple(FIGURE1_SYSTEMS),
+    quick: bool = False,
+) -> ResultTable:
+    """Run the Figure-1 sweep; returns GFLOP/s per system per config."""
+    if quick:
+        n, nb = 1024, 128
+        configs = [(4, 4), (16, 2), (64, 8)]
+    labels = [config_label(i, m) for i, m in configs]
+    table = ResultTable(
+        title=f"Figure 1: HPL performance, N={n}, NB={nb} (GFLOP/s)",
+        labels=labels, unit="GFLOP/s",
+    )
+    for legend, cfg_name in systems:
+        series = Series(name=legend, unit="GFLOP/s")
+        for (images, nodes), label in zip(configs, labels):
+            report = run_hpl(
+                n=n, nb=nb, num_images=images,
+                images_per_node=images // nodes,
+                config=NAMED_CONFIGS[cfg_name],
+            )
+            series.add(label, report.gflops)
+        table.add_series(series)
+    return table

@@ -1,0 +1,194 @@
+"""The Teams Microbenchmark suite (paper §V-A, reference [4]).
+
+The paper introduced a public microbenchmark suite for team collectives
+precisely because teams were too new to have one; this module is our
+version of it.  Each benchmark times one collective — barrier,
+all-to-all reduction, one-to-all broadcast — over a team, on a chosen
+cluster shape (nodes × images-per-node), for every compared system:
+
+* CAF runtime configurations (UHCAF 2-level / 1-level, GASNet-IB
+  dissemination, CAF 2.0) via :func:`repro.runtime.run_spmd`;
+* MPI tunings (MVAPICH, Open MPI, Open MPI hierarch) via
+  :func:`repro.baselines.mpi.run_mpi`.
+
+Timing protocol: two warm-up operations (populating lazily allocated
+synchronization cells, as a real runtime faults in its buffers), then
+``iters`` timed operations; the reported figure is the per-operation
+mean of the slowest image — the standard way collective latency is
+quoted.
+
+Optionally the collective runs on a *subteam* (``team_fraction``) to
+exercise the team machinery rather than the initial team.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.mpi import MPI_TUNINGS, run_mpi
+from ..machine import MachineSpec, TrafficSnapshot, paper_cluster
+from ..runtime.config import RuntimeConfig
+from ..runtime.program import run_spmd
+from .tables import ResultTable, Series, config_label
+
+__all__ = [
+    "MicrobenchResult",
+    "barrier_benchmark",
+    "reduce_benchmark",
+    "broadcast_benchmark",
+    "mpi_barrier_benchmark",
+    "sweep",
+]
+
+DEFAULT_ITERS = 10
+WARMUP = 2
+
+
+@dataclass
+class MicrobenchResult:
+    """Per-operation latency (max over images) plus traffic accounting."""
+
+    seconds_per_op: float
+    traffic_per_op: TrafficSnapshot
+
+
+def _run_caf(
+    body: Callable, num_images: int, images_per_node: int,
+    config: RuntimeConfig, spec: Optional[MachineSpec], iters: int,
+) -> MicrobenchResult:
+    if spec is None:
+        spec = paper_cluster(max(-(-num_images // images_per_node), 1))
+    result = run_spmd(
+        body, num_images=num_images, images_per_node=images_per_node,
+        spec=spec, config=config,
+    )
+    per_image_times, traffic_marks = zip(*result.results)
+    start_traffic = traffic_marks[0]
+    per_op = max(per_image_times) / iters
+    traffic = result.traffic - start_traffic
+    scaled = TrafficSnapshot(
+        inter_messages=traffic.inter_messages // iters,
+        inter_bytes=traffic.inter_bytes // iters,
+        intra_messages=traffic.intra_messages // iters,
+        intra_bytes=traffic.intra_bytes // iters,
+    )
+    return MicrobenchResult(seconds_per_op=per_op, traffic_per_op=scaled)
+
+
+def _subteam(ctx, team_fraction: float):
+    """Form a team of the first ``fraction`` of images (or stay initial)."""
+    if team_fraction >= 1.0:
+        return None
+    n = ctx.num_images()
+    cut = max(1, int(n * team_fraction))
+    color = 1 if ctx.this_image() <= cut else 2
+    team = yield from ctx.form_team(color)
+    yield from ctx.change_team(team)
+    return cut
+
+
+def barrier_benchmark(
+    num_images: int, images_per_node: int, config: RuntimeConfig,
+    spec: Optional[MachineSpec] = None, iters: int = DEFAULT_ITERS,
+    team_fraction: float = 1.0,
+) -> MicrobenchResult:
+    """Time ``sync all`` under ``config``."""
+
+    def body(ctx):
+        yield from _subteam(ctx, team_fraction)
+        for _ in range(WARMUP):
+            yield from ctx.sync_all()
+        mark = ctx.machine.traffic()
+        t0 = ctx.now
+        for _ in range(iters):
+            yield from ctx.sync_all()
+        return (ctx.now - t0, mark)
+
+    return _run_caf(body, num_images, images_per_node, config, spec, iters)
+
+
+def reduce_benchmark(
+    num_images: int, images_per_node: int, config: RuntimeConfig,
+    nelems: int = 1, spec: Optional[MachineSpec] = None,
+    iters: int = DEFAULT_ITERS, team_fraction: float = 1.0,
+) -> MicrobenchResult:
+    """Time ``co_sum`` of ``nelems`` float64 elements."""
+
+    def body(ctx):
+        yield from _subteam(ctx, team_fraction)
+        value = np.full(nelems, float(ctx.this_image()))
+        for _ in range(WARMUP):
+            yield from ctx.co_sum(value)
+        mark = ctx.machine.traffic()
+        t0 = ctx.now
+        for _ in range(iters):
+            yield from ctx.co_sum(value)
+        return (ctx.now - t0, mark)
+
+    return _run_caf(body, num_images, images_per_node, config, spec, iters)
+
+
+def broadcast_benchmark(
+    num_images: int, images_per_node: int, config: RuntimeConfig,
+    nelems: int = 1, spec: Optional[MachineSpec] = None,
+    iters: int = DEFAULT_ITERS, team_fraction: float = 1.0,
+) -> MicrobenchResult:
+    """Time ``co_broadcast`` of ``nelems`` float64 elements from image 1."""
+
+    def body(ctx):
+        yield from _subteam(ctx, team_fraction)
+        value = np.full(nelems, float(ctx.this_image()))
+        for _ in range(WARMUP):
+            yield from ctx.co_broadcast(value, source_image=1)
+        mark = ctx.machine.traffic()
+        t0 = ctx.now
+        for _ in range(iters):
+            yield from ctx.co_broadcast(value, source_image=1)
+        return (ctx.now - t0, mark)
+
+    return _run_caf(body, num_images, images_per_node, config, spec, iters)
+
+
+def mpi_barrier_benchmark(
+    num_ranks: int, images_per_node: int, tuning: str,
+    spec: Optional[MachineSpec] = None, iters: int = DEFAULT_ITERS,
+) -> float:
+    """Time MPI_Barrier under one of the MPI tunings; returns seconds/op."""
+    if tuning not in MPI_TUNINGS:
+        raise ValueError(f"unknown tuning {tuning!r}")
+
+    def body(ctx):
+        for _ in range(WARMUP):
+            yield from ctx.barrier()
+        t0 = ctx.now
+        for _ in range(iters):
+            yield from ctx.barrier()
+        return ctx.now - t0
+
+    if spec is None:
+        spec = paper_cluster(max(-(-num_ranks // images_per_node), 1))
+    res = run_mpi(body, num_ranks=num_ranks, images_per_node=images_per_node,
+                  spec=spec, tuning=tuning)
+    return max(res.results) / iters
+
+
+def sweep(
+    title: str,
+    configs: Sequence[Tuple[int, int]],
+    systems: Sequence[Tuple[str, Callable[[int, int], float]]],
+    unit: str = "us",
+    scale: float = 1e6,
+) -> ResultTable:
+    """Run ``fn(images, nodes) → seconds`` for every system over every
+    ``(images, nodes)`` configuration; returns the rendered-ready table."""
+    labels = [config_label(i, n) for i, n in configs]
+    table = ResultTable(title=title, labels=labels, unit=unit)
+    for name, fn in systems:
+        series = Series(name=name, unit=unit)
+        for (images, nodes), label in zip(configs, labels):
+            series.add(label, fn(images, nodes) * scale)
+        table.add_series(series)
+    return table

@@ -1,0 +1,54 @@
+"""Replicated measurements under OS-noise jitter.
+
+The simulator is deterministic, so a single run has zero variance; to
+study *robustness* (does TDLB's win survive noisy nodes?) the harness
+re-runs a measurement under ``compute_jitter`` with different seeds and
+summarizes the distribution.  This mirrors how the paper's cluster
+numbers would have been taken (best/median of several runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+__all__ = ["ReplicaStats", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Summary of replicated measurements (seconds)."""
+
+    samples: tuple
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def spread(self) -> float:
+        """(max − min) / mean — the headline robustness figure."""
+        return (self.maximum - self.minimum) / self.mean if self.mean else 0.0
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "ReplicaStats":
+        if not samples:
+            raise ValueError("need at least one sample")
+        n = len(samples)
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / n
+        return ReplicaStats(
+            samples=tuple(samples), mean=mean, std=math.sqrt(var),
+            minimum=min(samples), maximum=max(samples),
+        )
+
+
+def replicate(measure: Callable[[int], float], seeds: Sequence[int]) -> ReplicaStats:
+    """Run ``measure(seed)`` for every seed; returns the summary.
+
+    ``measure`` typically closes over a jittered config and passes the
+    seed through to ``run_spmd(..., jitter_seed=seed)``.
+    """
+    samples: List[float] = [measure(seed) for seed in seeds]
+    return ReplicaStats.of(samples)

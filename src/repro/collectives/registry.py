@@ -1,0 +1,96 @@
+"""Strategy registries mapping config names to collective implementations.
+
+The runtime config names a strategy per operation
+(:class:`repro.runtime.config.RuntimeConfig`); the context resolves it
+here.  Registering by name keeps benchmark definitions declarative — a
+comparison line in the harness is just a config with different strings.
+"""
+
+from __future__ import annotations
+
+from .barrier import (
+    barrier_dissemination,
+    barrier_dissemination_mcs,
+    barrier_dissemination_twowait,
+    barrier_linear,
+    barrier_tdlb,
+    barrier_tdlb_numa,
+    barrier_tournament,
+)
+from .broadcast import bcast_binomial_flat, bcast_linear_flat, bcast_two_level
+from .alltoall import (
+    alltoall_linear_flat,
+    alltoall_pairwise_flat,
+    alltoall_two_level,
+)
+from .gather import (
+    allgather_bruck_flat,
+    allgather_linear_flat,
+    allgather_two_level,
+)
+from .rabenseifner import allreduce_rabenseifner
+from .reduce import (
+    allreduce_binomial_flat,
+    allreduce_three_level,
+    allreduce_linear_flat,
+    allreduce_recursive_doubling,
+    allreduce_two_level,
+)
+
+__all__ = ["BARRIERS", "REDUCTIONS", "BROADCASTS", "ALLGATHERS",
+           "ALLTOALLS", "resolve"]
+
+BARRIERS = {
+    "dissemination": barrier_dissemination,
+    "dissemination-mcs": barrier_dissemination_mcs,
+    "dissemination-twowait": barrier_dissemination_twowait,
+    "linear": barrier_linear,
+    "tournament": barrier_tournament,
+    "tdlb": barrier_tdlb,
+    "tdlb-numa": barrier_tdlb_numa,
+}
+
+REDUCTIONS = {
+    "linear-flat": allreduce_linear_flat,
+    "binomial-flat": allreduce_binomial_flat,
+    "recursive-doubling": allreduce_recursive_doubling,
+    "rabenseifner": allreduce_rabenseifner,
+    "two-level": allreduce_two_level,
+    "three-level": allreduce_three_level,
+}
+
+BROADCASTS = {
+    "linear-flat": bcast_linear_flat,
+    "binomial-flat": bcast_binomial_flat,
+    "two-level": bcast_two_level,
+}
+
+ALLGATHERS = {
+    "linear-flat": allgather_linear_flat,
+    "bruck-flat": allgather_bruck_flat,
+    "two-level": allgather_two_level,
+}
+
+ALLTOALLS = {
+    "linear-flat": alltoall_linear_flat,
+    "pairwise-flat": alltoall_pairwise_flat,
+    "two-level": alltoall_two_level,
+}
+
+
+def resolve(kind: str, name: str):
+    """Look up strategy ``name`` in the ``kind`` registry, with a helpful
+    error listing valid names on a miss."""
+    tables = {"barrier": BARRIERS, "reduce": REDUCTIONS,
+              "broadcast": BROADCASTS, "allgather": ALLGATHERS,
+              "alltoall": ALLTOALLS}
+    try:
+        table = tables[kind]
+    except KeyError:
+        raise ValueError(f"unknown collective kind {kind!r}; have {sorted(tables)}") from None
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} strategy {name!r}; have {sorted(table)}"
+        ) from None

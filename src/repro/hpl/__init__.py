@@ -1,0 +1,30 @@
+"""CAF port of the High-Performance Linpack benchmark (paper §V-B).
+
+Block-cyclic right-looking LU over a P×Q image grid using row and
+column teams, with a verification mode (real NumPy arithmetic on a
+diagonally dominant test matrix, residual-checked) and a model mode
+(flop/traffic costing for Figure 1 at scale).
+"""
+
+from .costmodel import gemm_flops, getrf_flops, hpl_total_flops, trsm_flops
+from .driver import HplReport, hpl_main, run_hpl
+from .grid import BlockCyclicGrid, grid_shape
+from .solve import backward_substitute, forward_substitute, solve
+from .state import HplState, make_block
+
+__all__ = [
+    "run_hpl",
+    "hpl_main",
+    "HplReport",
+    "BlockCyclicGrid",
+    "grid_shape",
+    "HplState",
+    "solve",
+    "forward_substitute",
+    "backward_substitute",
+    "make_block",
+    "gemm_flops",
+    "getrf_flops",
+    "trsm_flops",
+    "hpl_total_flops",
+]

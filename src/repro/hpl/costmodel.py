@@ -1,0 +1,53 @@
+"""Flop accounting for the HPL kernels.
+
+The paper's HPL numbers come from Fortran loop nests compiled at -O3
+(no vendor BLAS), so per-backend effective rates are far below peak;
+the backend efficiency knob lives in
+:data:`repro.calibration.BACKEND_EFFICIENCY` and is applied by
+``ctx.compute_cost``.  This module only counts flops, so verification
+mode and model mode charge identical time for identical work.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "getrf_flops",
+    "trsm_flops",
+    "gemm_flops",
+    "scale_flops",
+    "rank1_update_flops",
+    "hpl_total_flops",
+]
+
+
+def getrf_flops(m: int, n: int) -> float:
+    """LU factorization of an m×n panel (excluding pivot search):
+    the classic mn² − n³/3 count."""
+    m, n = float(m), float(n)
+    return m * n * n - n * n * n / 3.0
+
+
+def trsm_flops(m: int, n: int) -> float:
+    """Triangular solve with an m×m triangle against n right-hand sides."""
+    return float(m) * float(m) * float(n)
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """C ← C − A·B with A m×k, B k×n."""
+    return 2.0 * float(m) * float(n) * float(k)
+
+
+def scale_flops(m: int) -> float:
+    """Scale a column of length m by a pivot reciprocal."""
+    return float(m)
+
+
+def rank1_update_flops(m: int, n: int) -> float:
+    """Rank-1 update of an m×n trailing panel region."""
+    return 2.0 * float(m) * float(n)
+
+
+def hpl_total_flops(n: int) -> float:
+    """The HPL GFLOP/s denominator: 2n³/3 + 3n²/2 (factor + solve)."""
+    n = float(n)
+    return 2.0 * n**3 / 3.0 + 1.5 * n * n

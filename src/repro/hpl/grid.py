@@ -1,0 +1,138 @@
+"""Process grid and block-cyclic distribution for the CAF HPL port.
+
+HPL distributes the N×N matrix over a P×Q grid of images in NB×NB
+blocks: block (I, J) lives on the image at grid position
+``(I mod P, J mod Q)``.  The CAF port (following the CAF 2.0 HPC
+Challenge port the paper bases its version on) carves the initial team
+into **row teams** (all images with the same grid row — they cooperate
+on broadcasts of a panel along a block row) and **column teams** (same
+grid column — pivot search and panel factorization).
+
+Grid placement is row-major over image indices, which with the block
+image-to-node placement used in the paper's ``N(M)`` configurations
+makes row teams node-local-heavy and column teams cross-node — the
+asymmetry that lets the two-level collectives pay off in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["BlockCyclicGrid", "grid_shape"]
+
+
+def grid_shape(num_images: int) -> Tuple[int, int]:
+    """The most square P×Q factorization with P ≤ Q (HPL's usual choice)."""
+    if num_images < 1:
+        raise ValueError(f"num_images must be >= 1, got {num_images}")
+    p = int(num_images**0.5)
+    while num_images % p != 0:
+        p -= 1
+    return p, num_images // p
+
+
+@dataclass(frozen=True)
+class BlockCyclicGrid:
+    """Block-cyclic maps for one image on a P×Q grid.
+
+    ``index`` is the image's 1-based index in the initial team; grid
+    coordinates are row-major: ``row = (index-1) // Q``,
+    ``col = (index-1) % Q``.
+    """
+
+    n: int
+    nb: int
+    p: int
+    q: int
+    index: int  # 1-based image index
+
+    def __post_init__(self) -> None:
+        if self.n % self.nb != 0:
+            raise ValueError(f"NB ({self.nb}) must divide N ({self.n})")
+        if not 1 <= self.index <= self.p * self.q:
+            raise ValueError(
+                f"index {self.index} out of range for {self.p}x{self.q} grid"
+            )
+
+    @property
+    def nblocks(self) -> int:
+        """Number of block rows (= block columns) of the matrix."""
+        return self.n // self.nb
+
+    @property
+    def my_row(self) -> int:
+        return (self.index - 1) // self.q
+
+    @property
+    def my_col(self) -> int:
+        return (self.index - 1) % self.q
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def owner_coords(self, bi: int, bj: int) -> Tuple[int, int]:
+        """Grid position owning block (bi, bj)."""
+        self._check_block(bi, bj)
+        return bi % self.p, bj % self.q
+
+    def owner_index(self, bi: int, bj: int) -> int:
+        """1-based image index owning block (bi, bj)."""
+        r, c = self.owner_coords(bi, bj)
+        return r * self.q + c + 1
+
+    def owns(self, bi: int, bj: int) -> bool:
+        return self.owner_coords(bi, bj) == (self.my_row, self.my_col)
+
+    def _check_block(self, bi: int, bj: int) -> None:
+        nb = self.nblocks
+        if not (0 <= bi < nb and 0 <= bj < nb):
+            raise ValueError(f"block ({bi},{bj}) out of range [0,{nb})")
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def my_blocks(self) -> Iterator[Tuple[int, int]]:
+        """All blocks this image owns, row-major."""
+        for bi in range(self.my_row, self.nblocks, self.p):
+            for bj in range(self.my_col, self.nblocks, self.q):
+                yield bi, bj
+
+    def my_blocks_in_col(self, bj: int, from_bi: int = 0) -> List[int]:
+        """Block-row indices ≥ ``from_bi`` this image owns in block column
+        ``bj`` (empty if the column isn't mine)."""
+        if bj % self.q != self.my_col:
+            return []
+        start = self.my_row
+        while start < from_bi:
+            start += self.p
+        return list(range(start, self.nblocks, self.p))
+
+    def my_blocks_in_row(self, bi: int, from_bj: int = 0) -> List[int]:
+        """Block-column indices ≥ ``from_bj`` this image owns in block row
+        ``bi`` (empty if the row isn't mine)."""
+        if bi % self.p != self.my_row:
+            return []
+        start = self.my_col
+        while start < from_bj:
+            start += self.q
+        return list(range(start, self.nblocks, self.q))
+
+    def trailing_blocks(self, k: int) -> Iterator[Tuple[int, int]]:
+        """My blocks in the trailing submatrix of step ``k`` (bi, bj > k)."""
+        for bi, bj in self.my_blocks():
+            if bi > k and bj > k:
+                yield bi, bj
+
+    # ------------------------------------------------------------------
+    # Team colors
+    # ------------------------------------------------------------------
+    @property
+    def row_team_number(self) -> int:
+        """form_team color putting same-grid-row images together (1-based,
+        since team numbers must be positive)."""
+        return self.my_row + 1
+
+    @property
+    def col_team_number(self) -> int:
+        return self.my_col + 1

@@ -1,0 +1,131 @@
+"""HPL panel factorization (the column-team half of a step).
+
+At step ``k`` the column team owning block column ``k``:
+
+1. runs the **pivot search** for each of the NB panel columns — a
+   maxloc allreduce over the column team (through the runtime's
+   configured team reduction, so the paper's two-level reduction speeds
+   up exactly this inner loop) plus a row-segment swap with the pivot
+   owner;
+2. factorizes the diagonal block (``getrf``) at its owner and
+   broadcasts the packed LU factors down the column team;
+3. applies the triangular solve (``trsm``) to every sub-diagonal block
+   of the panel.
+
+In verify mode the arithmetic is real but the swaps are identity (the
+test matrix is diagonally dominant, so the maxloc winner *is* the
+diagonal row — asserted, not assumed); in model mode only the costs and
+the traffic are charged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .costmodel import getrf_flops, scale_flops, trsm_flops
+from .state import HplState, SizedPayload
+
+__all__ = ["factorize_panel", "unpack_lu"]
+
+
+def _factor_diag_inplace(a: np.ndarray) -> None:
+    """Unpivoted right-looking LU of a square block, packed L\\U in place."""
+    n = a.shape[0]
+    for j in range(n - 1):
+        a[j + 1:, j] /= a[j, j]
+        a[j + 1:, j + 1:] -= np.outer(a[j + 1:, j], a[j, j + 1:])
+
+
+def unpack_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed L\\U block into unit-lower L and upper U."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def factorize_panel(ctx, state: HplState, k: int) -> Iterator:
+    """Run step ``k``'s panel factorization; only images whose grid column
+    owns block column ``k`` do real work, but the function is safe (and
+    cheap) to enter on every image — non-members return immediately, so
+    the driver needs no divergent control flow."""
+    grid = state.grid
+    nb = grid.nb
+    if k % grid.q != grid.my_col:
+        return
+
+    col_team = state.col_team
+    diag_owner_row = k % grid.p
+    diag_member = state.col_team_index_of_row(diag_owner_row)
+    i_am_diag = grid.my_row == diag_owner_row
+    my_sub_blocks = [bi for bi in grid.my_blocks_in_col(k, from_bi=k + 1)]
+    rows_below_mine = len(my_sub_blocks) * nb
+
+    # ---- 1. pivot search & swap, column by column ----------------------
+    for j in range(nb):
+        # Local candidate: the largest magnitude in my share of the column.
+        if state.verify:
+            best_val, best_loc = -1.0, grid.n + 1
+            if i_am_diag:
+                col = state.block(k, k)[j:, j]
+                loc = int(np.argmax(np.abs(col)))
+                best_val = float(abs(col[loc]))
+                best_loc = k * nb + j + loc
+            for bi in my_sub_blocks:
+                col = state.block(bi, k)[:, j]
+                loc = int(np.argmax(np.abs(col)))
+                if abs(col[loc]) > best_val:
+                    best_val = float(abs(col[loc]))
+                    best_loc = bi * nb + loc
+        else:
+            best_val, best_loc = 0.0, grid.my_row
+        scan_rows = rows_below_mine + (nb - j if i_am_diag else 0)
+        yield ctx.compute_cost(scale_flops(scan_rows))
+
+        if col_team.size > 1:
+            winner = yield from ctx.co_reduce(
+                (best_val, best_loc), op="maxloc", team=col_team
+            )
+        else:
+            winner = (best_val, best_loc)
+        if state.verify:
+            # Diagonal dominance must make the diagonal row win, or the
+            # unpivoted arithmetic below would be wrong.
+            assert winner[1] == k * nb + j, (
+                f"pivot left the diagonal at step {k}, column {j}: {winner}"
+            )
+        # Swap traffic: the diag owner exchanges a row segment with the
+        # pivot owner (identity swap in verify mode, but the messages are
+        # what HPL would send).
+        if col_team.size > 1 and i_am_diag:
+            partner = (diag_member % col_team.size) + 1
+            shared = col_team.shared
+            yield from ctx.conduit.transfer(
+                col_team.proc, shared.proc_of(partner), nb * 8, path="auto"
+            )
+
+    # ---- 2. diagonal block factorization + broadcast --------------------
+    if i_am_diag:
+        yield ctx.compute_cost(getrf_flops(nb, nb))
+        if state.verify:
+            _factor_diag_inplace(state.block(k, k))
+            payload = state.block(k, k).copy()
+        else:
+            payload = SizedPayload(nb * nb * 8)
+    else:
+        payload = None
+    if col_team.size > 1:
+        payload = yield from ctx.co_broadcast(
+            payload, source_image=diag_member, team=col_team
+        )
+
+    # ---- 3. triangular solves on the sub-diagonal panel blocks ----------
+    if my_sub_blocks:
+        yield ctx.compute_cost(trsm_flops(nb, rows_below_mine))
+        if state.verify:
+            _, upper = unpack_lu(payload)
+            for bi in my_sub_blocks:
+                blk = state.block(bi, k)
+                # X · U = B  →  solve Uᵀ Xᵀ = Bᵀ.
+                blk[...] = np.linalg.solve(upper.T, blk.T).T

@@ -1,0 +1,160 @@
+"""Distributed triangular solves: the back half of "solving Ax = b".
+
+After the factorization leaves L (unit lower) and U packed in the
+block-cyclic blocks, HPL finishes with two triangular solves.  The
+right-hand side is distributed by block row: segment k (NB elements)
+lives with the owner of diagonal block (k, k).
+
+Forward substitution (L·y = b), block row k = 0 … K−1:
+
+1. the diagonal owner solves ``y_k = L_kk⁻¹ (b_k − acc_k)`` where
+   ``acc_k`` accumulates contributions deposited by earlier rows;
+2. ``y_k`` is broadcast down block column k's *column team* (the owners
+   of blocks (i, k), i > k, all live in that team);
+3. each such owner computes ``L_ik · y_k`` and deposits it with the
+   owner of diagonal block (i, i) — a one-sided put into a tagged
+   mailbox, the CAF idiom for irregular reductions.
+
+Backward substitution (U·x = y) is the mirror image, bottom-up.  Both
+phases run on every image (SPMD); images without work in a step send
+and receive nothing but stay in lockstep through the mailbox tags.
+
+Cost accounting matches the kernels: ``trsm`` on the diagonal,
+``gemv``-style block products off it, plus the broadcast/deposit
+traffic — all through the active runtime config, so the solve exercises
+the same team machinery the factorization does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..collectives.reduce import _send_value, _wait_values
+from .costmodel import gemm_flops, trsm_flops
+from .panel import unpack_lu
+from .state import HplState, SizedPayload
+
+__all__ = ["forward_substitute", "backward_substitute", "solve"]
+
+
+def _deposit_count(grid, k: int, direction: str) -> int:
+    """How many off-diagonal contributions block row ``k`` receives:
+    one per factored block in its row strictly left (forward) or right
+    (backward) of the diagonal."""
+    if direction == "forward":
+        return k
+    return grid.nblocks - 1 - k
+
+
+def forward_substitute(ctx, state: HplState,
+                       b_segments: Optional[Dict[int, np.ndarray]]) -> Iterator:
+    """L·y = b; returns my ``{k: y_k}`` segments (diag owners only)."""
+    result = yield from _substitute(ctx, state, b_segments, "forward")
+    return result
+
+
+def backward_substitute(ctx, state: HplState,
+                        y_segments: Optional[Dict[int, np.ndarray]]) -> Iterator:
+    """U·x = y; returns my ``{k: x_k}`` segments (diag owners only)."""
+    result = yield from _substitute(ctx, state, y_segments, "backward")
+    return result
+
+
+def _substitute(ctx, state: HplState, rhs_segments, direction: str) -> Iterator:
+    grid = state.grid
+    nb = grid.nb
+    nblocks = grid.nblocks
+    verify = state.verify
+    tag_kind = "fsub" if direction == "forward" else "bsub"
+    # Contributions cross column teams (the owner of (bi, bi) is usually
+    # in a different column team than the depositor), so deposit tags
+    # ride the *initial* team's mailboxes, whose op counters advance in
+    # lockstep on every image.
+    base_tag = ctx.initial_team.next_op_tag(tag_kind)
+    order = range(nblocks) if direction == "forward" else range(nblocks - 1, -1, -1)
+    out: Dict[int, np.ndarray] = {}
+
+    for k in order:
+        diag_owner = grid.owner_index(k, k)
+        me_is_diag = grid.owns(k, k)
+        col_team = state.col_team
+        # members of column team (k mod Q) hold every block of column k;
+        # the solve step is collective over that team only
+        in_col_team = grid.my_col == k % grid.q
+
+        if me_is_diag:
+            # gather contributions from previously solved rows
+            need = _deposit_count(grid, k, direction)
+            acc = np.zeros(nb) if verify else None
+            if need:
+                deposits = yield from _wait_values(
+                    ctx, ctx.initial_team, base_tag + (k, "acc"), need
+                )
+                if verify:
+                    for d in deposits:
+                        acc += d
+            if verify:
+                rhs = rhs_segments[k] - acc
+                packed = state.block(k, k)
+                lower, upper = unpack_lu(packed)
+                if direction == "forward":
+                    seg = np.linalg.solve(lower, rhs)
+                else:
+                    seg = np.linalg.solve(upper, rhs)
+                out[k] = seg
+                payload: object = seg.copy()
+            else:
+                payload = SizedPayload(nb * 8)
+            yield ctx.compute_cost(trsm_flops(nb, 1))
+        else:
+            payload = None
+
+        # broadcast the solved segment down column k's team
+        if in_col_team and col_team.size > 1:
+            src = state.col_team_index_of_row(k % grid.p)
+            payload = yield from ctx.co_broadcast(
+                payload, source_image=src, team=col_team
+            )
+
+        # owners of the unsolved blocks in column k push contributions
+        if direction == "forward":
+            pending = grid.my_blocks_in_col(k, from_bi=k + 1)
+        else:
+            pending = [bi for bi in grid.my_blocks_in_col(k) if bi < k]
+        for bi in pending:
+            if verify:
+                contrib = state.block(bi, k) @ payload
+            else:
+                contrib = SizedPayload(nb * 8)
+            yield ctx.compute_cost(gemm_flops(nb, 1, nb))
+            owner = grid.owner_index(bi, bi)
+            yield from _send_value(
+                ctx, ctx.initial_team, owner, base_tag + (bi, "acc"), contrib,
+                path="auto",
+            )
+    return out
+
+
+def solve(ctx, state: HplState, seed: int = 99) -> Iterator:
+    """Full Ax = b solve against the factored blocks.
+
+    Generates a deterministic b, runs both substitutions, and (verify
+    mode) returns ``(x_segments, b_segments)`` for residual checking;
+    model mode returns ``(None, None)`` after charging the costs.
+    """
+    grid = state.grid
+    nb = grid.nb
+    if state.verify:
+        rng = np.random.default_rng(seed)
+        full_b = rng.random(grid.n)
+        b_segments = {
+            k: full_b[k * nb:(k + 1) * nb].copy()
+            for k in range(grid.nblocks) if grid.owns(k, k)
+        }
+    else:
+        b_segments = None
+    y = yield from forward_substitute(ctx, state, b_segments)
+    x = yield from backward_substitute(ctx, state, y)
+    return x, b_segments

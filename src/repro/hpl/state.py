@@ -1,0 +1,116 @@
+"""Shared per-image state of one HPL run.
+
+Two execution modes share the same communication skeleton:
+
+* ``verify=True`` — blocks hold real NumPy data, the factorization does
+  real arithmetic, and the driver can reconstruct ‖A − L·U‖/‖A‖ at the
+  end.  The test matrix is made strongly diagonally dominant so the
+  factorization is stable **without row pivoting** (see DESIGN.md: the
+  pivot search and swap *traffic* is still modeled, but the swaps are
+  identity — a substitution that keeps the communication pattern of HPL
+  while keeping the distributed numerics tractable).
+* ``verify=False`` — the model mode used for Figure 1: payloads carry
+  only sizes, compute is charged through the flop model, and N can be
+  large without moving real gigabytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..teams.team import TeamView
+from .grid import BlockCyclicGrid
+
+__all__ = ["SizedPayload", "BlockBundle", "HplState", "make_block"]
+
+
+class SizedPayload:
+    """A stand-in payload exposing only ``nbytes`` — what model-mode
+    broadcasts send so the conduit charges honest wire time without any
+    real data moving."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int):
+        self.nbytes = int(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SizedPayload({self.nbytes})"
+
+
+class BlockBundle(dict):
+    """A dict of ``{block_row_or_col: ndarray}`` that reports its true
+    payload size, so verify-mode broadcasts charge the same wire bytes
+    as model-mode :class:`SizedPayload` ones — keeping timed results
+    identical across the two modes (a tested invariant)."""
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(v.nbytes for v in self.values()))
+
+
+def make_block(n: int, nb: int, bi: int, bj: int, seed: int = 1234) -> np.ndarray:
+    """Deterministic NB×NB block of the test matrix.
+
+    Off-diagonal entries are uniform in [−0.5, 0.5); diagonal blocks add
+    ``n`` on the diagonal, making A strongly diagonally dominant so
+    unpivoted LU is stable.  Depends only on (n, nb, bi, bj, seed), so
+    any image — and the verifier — can regenerate any block.
+    """
+    rng = np.random.default_rng((seed, bi, bj))
+    block = rng.random((nb, nb)) - 0.5
+    if bi == bj:
+        block[np.diag_indices(nb)] += float(n)
+    return block
+
+
+class HplState:
+    """Everything one image carries through the factorization."""
+
+    def __init__(
+        self,
+        grid: BlockCyclicGrid,
+        row_team: TeamView,
+        col_team: TeamView,
+        verify: bool,
+        seed: int = 1234,
+    ):
+        self.grid = grid
+        self.row_team = row_team
+        self.col_team = col_team
+        self.verify = verify
+        self.seed = seed
+        #: my owned blocks; real arrays in verify mode, None in model mode
+        self.blocks: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
+        #: L panel blocks received via the row-team broadcast this step
+        self.panel: Dict[int, Any] = {}
+        #: U row blocks received via the column-team broadcast this step
+        self.urow: Dict[int, Any] = {}
+        if verify:
+            for bi, bj in grid.my_blocks():
+                self.blocks[(bi, bj)] = make_block(grid.n, grid.nb, bi, bj, seed)
+        else:
+            for bi, bj in grid.my_blocks():
+                self.blocks[(bi, bj)] = None
+
+    @property
+    def nb(self) -> int:
+        return self.grid.nb
+
+    def block(self, bi: int, bj: int) -> np.ndarray:
+        arr = self.blocks[(bi, bj)]
+        assert arr is not None, "block data requested in model mode"
+        return arr
+
+    # Indices of the special members inside my row/column teams.  Row
+    # teams are formed of a full grid row ordered by grid column (the
+    # formation orders by parent index, and parent indices within a grid
+    # row increase with the column), so the member at grid column c has
+    # team index c+1; symmetrically for column teams.
+    def row_team_index_of_col(self, grid_col: int) -> int:
+        return grid_col + 1
+
+    def col_team_index_of_row(self, grid_row: int) -> int:
+        return grid_row + 1

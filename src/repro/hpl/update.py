@@ -1,0 +1,130 @@
+"""HPL trailing-matrix update (the row/column broadcast half of a step).
+
+After the panel of step ``k`` is factored:
+
+1. **Panel broadcast** along every row team: the member in the panel's
+   grid column sends its column-``k`` blocks (packed diagonal included)
+   to its whole grid row — in verify mode as a dict of real blocks, in
+   model mode as one sized payload.  This is where the paper's two-level
+   broadcast earns its keep: with block image placement a grid row is
+   largely node-local.
+2. **U-row computation**: images in the panel's grid row solve
+   ``U(k, bj) = L11⁻¹ · A(k, bj)`` for their trailing block columns.
+3. **U broadcast** down every column team.
+4. **DGEMM**: every image updates its trailing blocks
+   ``A(bi, bj) −= L(bi, k) · U(k, bj)``.
+
+Every team's members enter every broadcast (with possibly empty
+payloads), so control flow never diverges within a team — the SPMD
+discipline the collectives require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from .costmodel import gemm_flops, trsm_flops
+from .panel import unpack_lu
+from .state import BlockBundle, HplState, SizedPayload
+
+__all__ = ["broadcast_panel", "update_trailing"]
+
+
+def broadcast_panel(ctx, state: HplState, k: int) -> Iterator:
+    """Phases 1–3: panel row-broadcast, U computation, U column-broadcast."""
+    grid = state.grid
+    nb = grid.nb
+    panel_col = k % grid.q
+    panel_row = k % grid.p
+
+    # ---- 1. L panel along my row team -----------------------------------
+    source = state.row_team_index_of_col(panel_col)
+    if grid.my_col == panel_col:
+        owned = grid.my_blocks_in_col(k, from_bi=k)
+        if state.verify:
+            payload: object = BlockBundle(
+                (bi, state.block(bi, k).copy()) for bi in owned
+            )
+        else:
+            payload = SizedPayload(len(owned) * nb * nb * 8)
+    else:
+        payload = None
+    if state.row_team.size > 1:
+        payload = yield from ctx.co_broadcast(
+            payload, source_image=source, team=state.row_team
+        )
+    if state.verify:
+        state.panel = dict(payload)  # {bi: block}; bi == k is packed L\U
+    else:
+        state.panel = {}
+
+    # ---- 2. U row: triangular solves on my trailing row-k blocks --------
+    my_u_cols = grid.my_blocks_in_row(k, from_bj=k + 1) if grid.my_row == panel_row else []
+    if my_u_cols:
+        yield ctx.compute_cost(trsm_flops(nb, len(my_u_cols) * nb))
+    if state.verify:
+        state.urow = {}
+        if my_u_cols:
+            lower, _ = unpack_lu(state.panel[k])
+            for bj in my_u_cols:
+                blk = state.block(k, bj)
+                blk[...] = np.linalg.solve(lower, blk)
+                state.urow[bj] = blk.copy()
+    else:
+        state.urow = {}
+
+    # ---- 3. U blocks down my column team ---------------------------------
+    u_source = state.col_team_index_of_row(panel_row)
+    if grid.my_row == panel_row:
+        if state.verify:
+            u_payload: object = BlockBundle(state.urow)
+        else:
+            count = len(grid.my_blocks_in_row(k, from_bj=k + 1))
+            u_payload = SizedPayload(count * nb * nb * 8)
+    else:
+        u_payload = None
+    if state.col_team.size > 1:
+        u_payload = yield from ctx.co_broadcast(
+            u_payload, source_image=u_source, team=state.col_team
+        )
+    if state.verify:
+        state.urow = dict(u_payload)
+
+
+def update_trailing(ctx, state: HplState, k: int) -> Iterator:
+    """Phase 4: DGEMM on my trailing blocks (aggregated into one compute
+    charge in model mode; real matmuls in verify mode)."""
+    grid = state.grid
+    nb = grid.nb
+    trailing = list(grid.trailing_blocks(k))
+    if not trailing:
+        return
+    yield ctx.compute_cost(len(trailing) * gemm_flops(nb, nb, nb))
+    if state.verify:
+        for bi, bj in trailing:
+            state.block(bi, bj)[...] -= state.panel[bi] @ state.urow[bj]
+
+
+def reconstruct_lu(blocks: Dict, n: int, nb: int) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble global L (unit lower) and U from a full map of factored
+    blocks {(bi, bj): array} — verification helper used by the driver
+    after gathering everything at image 1."""
+    lower = np.zeros((n, n))
+    upper = np.zeros((n, n))
+    nblocks = n // nb
+    for bi in range(nblocks):
+        for bj in range(nblocks):
+            blk = blocks[(bi, bj)]
+            rows = slice(bi * nb, (bi + 1) * nb)
+            cols = slice(bj * nb, (bj + 1) * nb)
+            if bi > bj:
+                lower[rows, cols] = blk
+            elif bi < bj:
+                upper[rows, cols] = blk
+            else:
+                l_blk, u_blk = unpack_lu(blk)
+                lower[rows, cols] = l_blk
+                upper[rows, cols] = u_blk
+    return lower, upper

@@ -1,0 +1,30 @@
+"""Cluster hardware model: topology, interconnect, shared memory, compute.
+
+The machine model is the reproduction's stand-in for the paper's 44-node
+Opteron/InfiniBand cluster (see DESIGN.md §2 for the substitution
+rationale).  It is parametric, so benchmark sweeps can vary node counts,
+images-per-node, and latency ratios.
+"""
+
+from .machine import Machine, TrafficSnapshot, build_machine
+from .memnode import SharedMemory
+from .network import Interconnect
+from .spec import MachineSpec, NetworkSpec, NodeSpec, flat_cluster, paper_cluster
+from .topology import Placement, Topology, block_placement, cyclic_placement
+
+__all__ = [
+    "Machine",
+    "TrafficSnapshot",
+    "build_machine",
+    "SharedMemory",
+    "Interconnect",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "paper_cluster",
+    "flat_cluster",
+    "Placement",
+    "Topology",
+    "block_placement",
+    "cyclic_placement",
+]

@@ -1,0 +1,169 @@
+"""The :class:`Machine` facade: one object the runtime talks to.
+
+A Machine binds a :class:`~repro.machine.spec.MachineSpec`, an image
+:class:`~repro.machine.topology.Topology`, and the two fabrics
+(:class:`~repro.machine.network.Interconnect` and
+:class:`~repro.machine.memnode.SharedMemory`) to a simulation engine, and
+exposes placement-aware transport: callers say *which images* talk, the
+Machine decides whether that is a NIC transaction or a cache-coherence
+transaction.  This is the knowledge a memory-hierarchy-aware runtime has
+and a flat runtime ignores — the entire paper in one dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..sim import Engine, SimEvent, Timeout
+from .memnode import SharedMemory
+from .network import Interconnect
+from .spec import MachineSpec
+from .topology import Placement, Topology, block_placement
+
+__all__ = ["Machine", "TrafficSnapshot", "build_machine"]
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Cumulative fabric counters at one instant; subtract two snapshots to
+    get per-phase traffic (used by the notification-count experiments)."""
+
+    inter_messages: int
+    inter_bytes: int
+    intra_messages: int
+    intra_bytes: int
+
+    def __sub__(self, other: "TrafficSnapshot") -> "TrafficSnapshot":
+        return TrafficSnapshot(
+            self.inter_messages - other.inter_messages,
+            self.inter_bytes - other.inter_bytes,
+            self.intra_messages - other.intra_messages,
+            self.intra_bytes - other.intra_bytes,
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return self.inter_messages + self.intra_messages
+
+
+class Machine:
+    """Placement-aware transport + compute-cost accounting."""
+
+    def __init__(self, engine: Engine, topology: Topology):
+        self.engine = engine
+        self.topology = topology
+        self.spec: MachineSpec = topology.spec
+        self.interconnect = Interconnect(engine, self.spec)
+        self.shared_memory = SharedMemory(engine, self.spec)
+
+    # ------------------------------------------------------------------
+    # Placement queries (delegated; runtime code reads these constantly)
+    # ------------------------------------------------------------------
+    @property
+    def num_images(self) -> int:
+        return self.topology.num_images
+
+    def node_of(self, image: int) -> int:
+        return self.topology.node_of(image)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.topology.same_node(a, b)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_image: int,
+        dst_image: int,
+        nbytes: int,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> Iterator:
+        """Move ``nbytes`` from ``src_image``'s memory to ``dst_image``'s.
+
+        Generator to ``yield from`` in the sending process: it blocks the
+        sender through source-side completion, and invokes
+        ``on_delivered`` when the payload is visible at the target.
+        Routing (NIC vs coherence fabric) follows placement.
+        """
+        ps = self.topology.placement(src_image)
+        pd = self.topology.placement(dst_image)
+        if ps.node == pd.node:
+            yield from self.shared_memory.transfer(
+                ps.node, ps.core, pd.core, nbytes, on_visible=on_delivered
+            )
+        else:
+            yield from self.interconnect.send(
+                ps.node, pd.node, nbytes, on_delivered=on_delivered
+            )
+
+    def transfer_async(
+        self,
+        src_image: int,
+        dst_image: int,
+        nbytes: int,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> SimEvent:
+        """Callback-style :meth:`transfer`; event fires at source completion."""
+        ps = self.topology.placement(src_image)
+        pd = self.topology.placement(dst_image)
+        if ps.node == pd.node:
+            return self.shared_memory.transfer_async(
+                ps.node, ps.core, pd.core, nbytes, on_visible=on_delivered
+            )
+        return self.interconnect.send_async(
+            ps.node, pd.node, nbytes, on_delivered=on_delivered
+        )
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def compute(self, flops: float, efficiency: float = 1.0) -> Timeout:
+        """A :class:`Timeout` charging ``flops`` of work on one core.
+
+        ``efficiency`` scales the core's peak rate; backends with poorer
+        generated code (the paper's GFortran backend) pass a smaller value.
+        """
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        if not 0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        rate = self.spec.node.core_flops * efficiency
+        return Timeout(flops / rate)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def traffic(self) -> TrafficSnapshot:
+        return TrafficSnapshot(
+            inter_messages=self.interconnect.messages,
+            inter_bytes=self.interconnect.bytes,
+            intra_messages=self.shared_memory.messages,
+            intra_bytes=self.shared_memory.bytes,
+        )
+
+    def reset_traffic(self) -> None:
+        self.interconnect.reset_counters()
+        self.shared_memory.reset_counters()
+
+
+def build_machine(
+    engine: Engine,
+    spec: MachineSpec,
+    num_images: int,
+    images_per_node: Optional[int] = None,
+    placements: Optional[Sequence[Placement]] = None,
+) -> Machine:
+    """Convenience constructor used throughout benchmarks and tests.
+
+    Either pass explicit ``placements`` or an ``images_per_node`` for block
+    placement (default: pack a node full before starting the next — the
+    paper's ``N(M)`` notation with M nodes means ``images_per_node = N/M``).
+    """
+    if placements is None:
+        if images_per_node is None:
+            images_per_node = spec.node.cores
+        placements = block_placement(num_images, images_per_node)
+    topo = Topology(spec, placements)
+    return Machine(engine, topo)

@@ -1,0 +1,131 @@
+"""Hardware specification dataclasses and the paper's evaluation cluster.
+
+All times are in seconds, all sizes in bytes, all rates in bytes/second.
+The concrete constants live in :mod:`repro.calibration` together with the
+rationale for each value; this module only defines the *shape* of a
+machine description and convenience constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NodeSpec", "NetworkSpec", "MachineSpec", "paper_cluster", "flat_cluster"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One shared-memory compute node.
+
+    The two latency fields model the NUMA structure the paper lists as
+    future work (§VII): a flag write observed by a core on the *same*
+    socket is cheaper than one crossing the socket interconnect.  The
+    2-level algorithms only use ``smp_latency`` (the conservative,
+    cross-socket figure); the 3-level NUMA ablation (E8) exploits the
+    distinction.
+    """
+
+    cores: int = 8
+    sockets: int = 2
+    #: cache-coherent notification latency between cores on different sockets
+    smp_latency: float = 150e-9
+    #: notification latency between cores sharing a socket (NUMA ablation)
+    intra_socket_latency: float = 80e-9
+    #: sustained intra-node copy bandwidth (bytes/s)
+    smp_bandwidth: float = 3.0e9
+    #: simultaneous notifications one socket's memory controller retires
+    bus_capacity: int = 1
+    #: memory-controller occupancy per intra-node notification; each
+    #: socket has its own controller, so sockets retire traffic in
+    #: parallel while traffic to one socket serializes
+    bus_hold: float = 60e-9
+    #: occupancy multiplier when the store crosses the socket interconnect
+    #: (the home controller also drives the HT/QPI link)
+    cross_socket_bus_factor: float = 3.0
+    #: per-core double-precision flop rate (flops/s); 2.2 GHz Opteron,
+    #: 4 DP flops/cycle SSE ceiling
+    core_flops: float = 8.8e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.sockets < 1 or self.cores % self.sockets != 0:
+            raise ValueError(
+                f"sockets ({self.sockets}) must divide cores ({self.cores})"
+            )
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.sockets
+
+    def socket_of(self, core: int) -> int:
+        """Socket index hosting ``core`` (cores are filled socket-major)."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} out of range [0, {self.cores})")
+        return core // self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """LogGP-style interconnect between nodes.
+
+    A message of ``n`` bytes costs ``gap + n * inject_cost_per_byte`` of
+    NIC occupancy at the sender (serialized per node — the single HCA),
+    then ``latency + n / bandwidth`` of wire time before delivery.  The
+    per-message *software* overhead is deliberately NOT here: it belongs
+    to the conduit profile (GASNet vs raw verbs vs MPI), which is exactly
+    the axis the paper's §V-A comparison varies.
+    """
+
+    #: one-way wire latency for a minimal message (4xDDR InfiniBand)
+    latency: float = 2.0e-6
+    #: sustained point-to-point bandwidth (bytes/s)
+    bandwidth: float = 1.4e9
+    #: NIC injection gap per message (back-to-back sends serialize on this)
+    gap: float = 0.4e-6
+    #: NIC injection cost per payload byte (DMA engine occupancy)
+    inject_cost_per_byte: float = 1.0 / 4.0e9
+    #: concurrent injections a node's NIC sustains (1 = single HCA port)
+    nic_capacity: int = 1
+
+    def wire_time(self, nbytes: int) -> float:
+        """Latency + serialization on the wire for an ``nbytes`` payload."""
+        return self.latency + nbytes / self.bandwidth
+
+    def inject_time(self, nbytes: int) -> float:
+        """NIC occupancy charged at the sender for an ``nbytes`` payload."""
+        return self.gap + nbytes * self.inject_cost_per_byte
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: ``num_nodes`` identical nodes joined by one interconnect."""
+
+    num_nodes: int
+    node: NodeSpec
+    network: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    def with_nodes(self, num_nodes: int) -> "MachineSpec":
+        """Same hardware, different node count (benchmark sweeps)."""
+        return replace(self, num_nodes=num_nodes)
+
+
+def paper_cluster(num_nodes: int = 44) -> MachineSpec:
+    """The paper's evaluation platform: 44 nodes, dual quad-core 2.2 GHz
+    AMD Opteron (8 cores, 2 sockets), 4xDDR InfiniBand."""
+    return MachineSpec(num_nodes=num_nodes, node=NodeSpec(), network=NetworkSpec())
+
+
+def flat_cluster(num_nodes: int) -> MachineSpec:
+    """A cluster used with one image per node (the paper's flat-hierarchy
+    configuration, e.g. ``16(16)``): same hardware, but callers place a
+    single image on each node so no intra-node tier exists."""
+    return paper_cluster(num_nodes)

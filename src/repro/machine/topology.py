@@ -1,0 +1,130 @@
+"""Cluster topology and image placement.
+
+The runtime asks one question of the topology over and over: *which node
+(and core) does image ``i`` live on?*  Placement is fixed at program
+launch — exactly like a batch scheduler's rank-to-host map — and every
+hierarchy decision in :mod:`repro.teams.hierarchy` derives from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .spec import MachineSpec
+
+__all__ = ["Placement", "Topology", "block_placement", "cyclic_placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Physical location of one image: ``(node, core)``."""
+
+    node: int
+    core: int
+
+
+def block_placement(num_images: int, images_per_node: int) -> list[Placement]:
+    """Fill nodes one after another — the common ``mpirun --map-by node:PE``
+    style used by the paper's ``N(M)`` configurations (e.g. 16 images on
+    2 nodes = 8 consecutive images per node)."""
+    if num_images < 1:
+        raise ValueError(f"num_images must be >= 1, got {num_images}")
+    if images_per_node < 1:
+        raise ValueError(f"images_per_node must be >= 1, got {images_per_node}")
+    return [
+        Placement(node=i // images_per_node, core=i % images_per_node)
+        for i in range(num_images)
+    ]
+
+
+def cyclic_placement(num_images: int, num_nodes: int) -> list[Placement]:
+    """Round-robin images over nodes (rank i → node i mod N).
+
+    Under cyclic placement consecutive images are never co-located, which
+    is the adversarial case for hierarchy-unaware collectives — useful in
+    ablations."""
+    if num_images < 1:
+        raise ValueError(f"num_images must be >= 1, got {num_images}")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    counts = [0] * num_nodes
+    out = []
+    for i in range(num_images):
+        node = i % num_nodes
+        out.append(Placement(node=node, core=counts[node]))
+        counts[node] += 1
+    return out
+
+
+class Topology:
+    """Validated image→(node, core) map over a :class:`MachineSpec`.
+
+    Raises at construction if any placement exceeds the machine (node out
+    of range, core oversubscribed) so benchmarks can't silently run an
+    impossible configuration.
+    """
+
+    def __init__(self, spec: MachineSpec, placements: Sequence[Placement]):
+        if not placements:
+            raise ValueError("at least one image required")
+        for i, p in enumerate(placements):
+            if not 0 <= p.node < spec.num_nodes:
+                raise ValueError(
+                    f"image {i}: node {p.node} out of range [0, {spec.num_nodes})"
+                )
+            if not 0 <= p.core < spec.node.cores:
+                raise ValueError(
+                    f"image {i}: core {p.core} out of range [0, {spec.node.cores})"
+                )
+        seen = set()
+        for i, p in enumerate(placements):
+            key = (p.node, p.core)
+            if key in seen:
+                raise ValueError(f"image {i}: core {key} already occupied")
+            seen.add(key)
+        self.spec = spec
+        self._placements = list(placements)
+
+    @property
+    def num_images(self) -> int:
+        return len(self._placements)
+
+    def placement(self, image: int) -> Placement:
+        return self._placements[image]
+
+    def node_of(self, image: int) -> int:
+        return self._placements[image].node
+
+    def core_of(self, image: int) -> int:
+        return self._placements[image].core
+
+    def socket_of(self, image: int) -> int:
+        p = self._placements[image]
+        return self.spec.node.socket_of(p.core)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self._placements[a].node == self._placements[b].node
+
+    def same_socket(self, a: int, b: int) -> bool:
+        pa, pb = self._placements[a], self._placements[b]
+        return pa.node == pb.node and self.spec.node.socket_of(
+            pa.core
+        ) == self.spec.node.socket_of(pb.core)
+
+    def images_on_node(self, node: int) -> list[int]:
+        return [i for i, p in enumerate(self._placements) if p.node == node]
+
+    def nodes_used(self) -> list[int]:
+        """Distinct nodes hosting at least one image, ascending."""
+        return sorted({p.node for p in self._placements})
+
+    def intranode_sets(self, images: Iterable[int]) -> dict[int, list[int]]:
+        """Group a subset of images by node — the paper's *intranode set*
+        computation, performed at team-formation time (§IV-A)."""
+        groups: dict[int, list[int]] = {}
+        for img in images:
+            groups.setdefault(self.node_of(img), []).append(img)
+        for members in groups.values():
+            members.sort()
+        return groups

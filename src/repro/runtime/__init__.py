@@ -1,0 +1,46 @@
+"""The CAF runtime: conduits, coarrays, RMA, synchronization, SPMD launch.
+
+This package is the reproduction's stand-in for the UHCAF runtime layer
+of the OpenUH compiler: the subroutines that lowered team constructs and
+coarray accesses call into (§III of the paper).
+"""
+
+from .atomics import AtomicVar
+from .coarray import Coarray
+from .conduit import Conduit
+from .config import (
+    CAF20_GFORTRAN,
+    CAF20_OPENUH,
+    GASNET_IB_DISSEMINATION,
+    NAMED_CONFIGS,
+    OPENMPI_GCC,
+    RuntimeConfig,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+)
+from .events import EventVar
+from .locks import LockVar
+from .program import CafContext, RmaHandle, SpmdResult, World, run_spmd
+from .sync import PairwiseSync
+
+__all__ = [
+    "AtomicVar",
+    "Coarray",
+    "Conduit",
+    "EventVar",
+    "LockVar",
+    "RmaHandle",
+    "PairwiseSync",
+    "CafContext",
+    "SpmdResult",
+    "World",
+    "run_spmd",
+    "RuntimeConfig",
+    "UHCAF_2LEVEL",
+    "UHCAF_1LEVEL",
+    "GASNET_IB_DISSEMINATION",
+    "CAF20_OPENUH",
+    "CAF20_GFORTRAN",
+    "OPENMPI_GCC",
+    "NAMED_CONFIGS",
+]

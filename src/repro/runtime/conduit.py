@@ -1,0 +1,204 @@
+"""The conduit: per-message software costs on top of the machine fabrics.
+
+A :class:`Conduit` pairs a :class:`~repro.calibration.ConduitProfile`
+with a :class:`~repro.machine.Machine` and exposes the one primitive the
+PGAS runtime is built from — a *costed one-sided transfer* between two
+images.  Three paths exist:
+
+``remote``
+    Inter-node: software overhead at the sender, then NIC injection and
+    the wire (see :mod:`repro.machine.network`).
+``loopback``
+    Same-node, but through the conduit anyway — the hierarchy-unaware
+    path (GASNet ibv loopback).  Pays the full software overhead, the
+    node's memory system, and an extra target-side polling penalty.
+``direct``
+    Same-node via plain stores — the hierarchy-aware path; near-zero
+    software cost.
+
+Profiles with ``serialize_overhead=True`` funnel their software overhead
+through a per-node FIFO *progress engine* resource, so concurrent
+operations issued by co-located images serialize.  This single mechanism
+produces the paper's observed collapse of flat dissemination at 8 images
+per node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..calibration import DIRECT_SMP, ConduitProfile
+from ..machine import Machine
+from ..sim import Hold, Resource, Timeout
+
+__all__ = ["Conduit"]
+
+
+class Conduit:
+    """Costed one-sided transfers between images over a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        profile: ConduitProfile,
+        hierarchy_aware: bool = False,
+    ):
+        self.machine = machine
+        self.profile = profile
+        #: when True, same-node transfers default to the ``direct`` path
+        self.hierarchy_aware = hierarchy_aware
+        self._engines = [
+            Resource(machine.engine, capacity=1, name=f"conduit{n}")
+            for n in range(machine.spec.num_nodes)
+        ]
+        #: lifetime message counters by path, for the accounting experiments
+        self.counts = {"remote": 0, "loopback": 0, "direct": 0}
+
+    def progress_engine(self, node: int) -> Resource:
+        return self._engines[node]
+
+    def reset_counters(self) -> None:
+        for key in self.counts:
+            self.counts[key] = 0
+
+    # ------------------------------------------------------------------
+    def _overhead(self, node: int, cost: float) -> Iterator:
+        """Charge sender software time, serialized per node if the profile says so."""
+        if cost <= 0.0:
+            return
+        if self.profile.serialize_overhead:
+            yield Hold(self._engines[node], cost)
+        else:
+            yield Timeout(cost)
+
+    def resolve_path(self, src_image: int, dst_image: int, path: str = "auto") -> str:
+        """Decide which of remote/loopback/direct a transfer takes.
+
+        ``auto`` consults placement and :attr:`hierarchy_aware` — the
+        runtime-level decision the paper's two-level methodology adds.
+        Forcing ``direct`` for a cross-node pair is rejected: stores do not
+        cross the network.
+        """
+        same = self.machine.same_node(src_image, dst_image)
+        if path == "auto":
+            if not same:
+                return "remote"
+            return "direct" if self.hierarchy_aware else "loopback"
+        if path == "direct" and not same:
+            raise ValueError(
+                f"direct path requested between images {src_image} and "
+                f"{dst_image} on different nodes"
+            )
+        if path == "remote" and same:
+            # Same-node through the conduit is by definition the loopback path.
+            return "loopback"
+        if path not in ("remote", "loopback", "direct"):
+            raise ValueError(f"unknown path {path!r}")
+        return path
+
+    def transfer(
+        self,
+        src_image: int,
+        dst_image: int,
+        nbytes: int,
+        on_delivered: Optional[Callable[[], None]] = None,
+        path: str = "auto",
+    ) -> Iterator:
+        """Generator performing one costed one-sided transfer.
+
+        The sending process blocks through source-side completion;
+        ``on_delivered`` fires when the payload is visible at the target.
+        """
+        resolved = self.resolve_path(src_image, dst_image, path)
+        self.counts[resolved] += 1
+        src_node = self.machine.node_of(src_image)
+
+        if resolved == "remote":
+            yield from self._overhead(src_node, self.profile.remote_overhead)
+            yield from self.machine.interconnect.send(
+                src_node,
+                self.machine.node_of(dst_image),
+                nbytes,
+                on_delivered=on_delivered,
+            )
+            return
+
+        ps = self.machine.topology.placement(src_image)
+        pd = self.machine.topology.placement(dst_image)
+        if resolved == "loopback":
+            yield from self._overhead(src_node, self.profile.local_overhead)
+            penalty = self.profile.loopback_penalty
+            wrapped = on_delivered
+            if penalty > 0.0 and on_delivered is not None:
+                engine = self.machine.engine
+
+                def wrapped() -> None:  # delivery waits for the target's poll
+                    engine.schedule(penalty, on_delivered, label="loopback-poll")
+
+            yield from self.machine.shared_memory.transfer(
+                ps.node, ps.core, pd.core, nbytes, on_visible=wrapped,
+                bandwidth_factor=self.profile.loopback_bw_factor,
+            )
+        else:  # direct
+            if DIRECT_SMP.local_overhead > 0.0:
+                yield Timeout(DIRECT_SMP.local_overhead)
+            yield from self.machine.shared_memory.transfer(
+                ps.node, ps.core, pd.core, nbytes, on_visible=on_delivered
+            )
+
+    def transfer_nb(
+        self,
+        src_image: int,
+        dst_image: int,
+        nbytes: int,
+        on_delivered: Optional[Callable[[], None]] = None,
+        path: str = "auto",
+    ) -> Iterator:
+        """Non-blocking variant: the sending process blocks only through
+        its software overhead (posting the work request); injection and
+        the wire proceed asynchronously.
+
+        Generator whose return value (via ``yield from``) is a
+        :class:`~repro.sim.SimEvent` that fires at *source-side*
+        completion (the source buffer is reusable); ``on_delivered``
+        fires when the payload lands at the target.
+        """
+        resolved = self.resolve_path(src_image, dst_image, path)
+        self.counts[resolved] += 1
+        src_node = self.machine.node_of(src_image)
+
+        if resolved == "remote":
+            yield from self._overhead(src_node, self.profile.remote_overhead)
+            return self.machine.interconnect.send_async(
+                src_node,
+                self.machine.node_of(dst_image),
+                nbytes,
+                on_delivered=on_delivered,
+            )
+
+        ps = self.machine.topology.placement(src_image)
+        pd = self.machine.topology.placement(dst_image)
+        if resolved == "loopback":
+            yield from self._overhead(src_node, self.profile.local_overhead)
+            penalty = self.profile.loopback_penalty
+            wrapped = on_delivered
+            if penalty > 0.0 and on_delivered is not None:
+                engine = self.machine.engine
+
+                def wrapped() -> None:
+                    engine.schedule(penalty, on_delivered, label="loopback-poll")
+
+            return self.machine.shared_memory.transfer_async(
+                ps.node, ps.core, pd.core, nbytes, on_visible=wrapped,
+                bandwidth_factor=self.profile.loopback_bw_factor,
+            )
+        # direct
+        if DIRECT_SMP.local_overhead > 0.0:
+            yield Timeout(DIRECT_SMP.local_overhead)
+        return self.machine.shared_memory.transfer_async(
+            ps.node, ps.core, pd.core, nbytes, on_visible=on_delivered
+        )
+
+    def recv_cost(self) -> float:
+        """Receiver-side CPU time per message (two-sided conduits)."""
+        return self.profile.recv_overhead

@@ -1,0 +1,59 @@
+"""Fortran 2015 event variables (``event_type`` coarrays).
+
+An event variable is a counting semaphore owned by one image:
+``event post(ev[k])`` atomically increments image *k*'s count from any
+image; ``event wait(ev, until_count=c)`` blocks the owner until its count
+reaches *c*, then consumes (decrements) it.  The paper's runtime builds
+its point-to-point notifications on the same counter machinery, so this
+module is both a public feature and the substrate for ``sync images``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim import Cell, WaitFor
+from .conduit import Conduit
+
+__all__ = ["EventVar", "EVENT_NBYTES"]
+
+EVENT_NBYTES = 8
+
+
+class EventVar:
+    """One event count per image."""
+
+    def __init__(self, conduit: Conduit, name: str):
+        self._conduit = conduit
+        self.name = name
+        engine = conduit.machine.engine
+        self._counts = [
+            Cell(engine, 0, name=f"{name}.count[{p}]")
+            for p in range(conduit.machine.num_images)
+        ]
+        # Posts consumed so far by each owner; count - consumed = pending.
+        self._consumed = [0] * conduit.machine.num_images
+
+    def pending(self, proc: int) -> int:
+        """Unconsumed posts at image ``proc`` (its ``event_query`` value)."""
+        return self._counts[proc].value - self._consumed[proc]
+
+    def post(self, src_proc: int, dst_proc: int, path: str = "auto") -> Iterator:
+        """``event post(ev[dst])`` issued by ``src_proc``; one-way costed."""
+        cell = self._counts[dst_proc]
+        yield from self._conduit.transfer(
+            src_proc, dst_proc, EVENT_NBYTES,
+            on_delivered=lambda: cell.add(1), path=path,
+        )
+
+    def wait(self, proc: int, until_count: int = 1) -> Iterator:
+        """``event wait(ev, until_count=c)`` at the owning image.
+
+        Blocks until ``c`` unconsumed posts exist, then consumes them all
+        (the F2015 semantics: the wait consumes ``until_count`` posts).
+        """
+        if until_count < 1:
+            raise ValueError(f"until_count must be >= 1, got {until_count}")
+        threshold = self._consumed[proc] + until_count
+        yield WaitFor(self._counts[proc], lambda v, t=threshold: v >= t)
+        self._consumed[proc] = threshold

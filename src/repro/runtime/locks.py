@@ -1,0 +1,84 @@
+"""Fortran 2008 lock variables (``lock_type`` coarrays).
+
+``lock(l[k])`` / ``unlock(l[k])`` give images mutual exclusion over a
+lock living on image *k*.  The implementation is the one a one-sided
+runtime actually uses: remote compare-and-swap acquisition with
+truncated exponential backoff between attempts.  Backoff intervals are
+deterministic (derived from the contender's image id and attempt
+number), so simulations stay reproducible while contenders still
+de-synchronize.
+
+The F2008 rules are enforced: acquiring a lock the caller already holds
+and releasing a lock held by someone else (or nobody) are errors
+(``STAT_LOCKED`` / ``STAT_UNLOCKED`` conditions — we raise, as OpenUH
+aborts by default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..sim import Timeout
+from .atomics import AtomicVar
+from .conduit import Conduit
+
+__all__ = ["LockVar", "LOCK_BACKOFF_BASE", "LOCK_BACKOFF_CAP"]
+
+#: first retry delay after a failed acquisition attempt
+LOCK_BACKOFF_BASE = 0.4e-6
+#: backoff ceiling (truncated exponential)
+LOCK_BACKOFF_CAP = 12.8e-6
+
+#: lock word states: 0 = free, otherwise holder's (proc + 1)
+_FREE = 0
+
+
+class LockVar:
+    """One lock word per image, acquired with remote CAS."""
+
+    def __init__(self, conduit: Conduit, name: str):
+        self._conduit = conduit
+        self.name = name
+        self._word = AtomicVar(conduit, f"{name}.lock", initial=_FREE)
+        # (holder proc, lock-home proc) pairs this runtime knows are held;
+        # used to enforce the standard's already-held / not-held errors.
+        self._held: Dict[Tuple[int, int], bool] = {}
+
+    def holder(self, home_proc: int) -> int:
+        """Current holder's proc id, or -1 if free (debug/test hook)."""
+        value = self._word.value(home_proc)
+        return value - 1 if value != _FREE else -1
+
+    def acquire(self, my_proc: int, home_proc: int) -> Iterator:
+        """``lock(l[home])``: spin with CAS + deterministic backoff."""
+        if self._held.get((my_proc, home_proc)):
+            raise RuntimeError(
+                f"image {my_proc + 1} already holds lock {self.name!r} "
+                f"on image {home_proc + 1} (STAT_LOCKED)"
+            )
+        attempt = 0
+        while True:
+            old = yield from self._word.compare_and_swap(
+                my_proc, home_proc, expected=_FREE, desired=my_proc + 1
+            )
+            if old == _FREE:
+                self._held[(my_proc, home_proc)] = True
+                return
+            # Deterministic truncated exponential backoff, skewed per
+            # image so contenders spread out.
+            backoff = min(
+                LOCK_BACKOFF_BASE * (1 << min(attempt, 6)), LOCK_BACKOFF_CAP
+            )
+            backoff *= 1.0 + ((my_proc * 7 + attempt * 3) % 8) / 16.0
+            attempt += 1
+            yield Timeout(backoff)
+
+    def release(self, my_proc: int, home_proc: int) -> Iterator:
+        """``unlock(l[home])``: verify ownership, then remote store."""
+        if not self._held.get((my_proc, home_proc)):
+            raise RuntimeError(
+                f"image {my_proc + 1} does not hold lock {self.name!r} "
+                f"on image {home_proc + 1} (STAT_UNLOCKED)"
+            )
+        del self._held[(my_proc, home_proc)]
+        yield from self._word.define(my_proc, home_proc, _FREE)

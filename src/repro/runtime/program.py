@@ -1,0 +1,653 @@
+"""SPMD program execution: the world, the per-image context, the launcher.
+
+This module is the public face of the runtime.  A CAF program is a
+generator function ``main(ctx)`` executed once per image::
+
+    def main(ctx):
+        me = ctx.this_image()
+        a = yield from ctx.allocate("a", (100,), dtype=np.float64)
+        ctx.local(a)[:] = me
+        yield from ctx.sync_all()
+        if me == 1:
+            row = yield from ctx.get(a, 2)      # one-sided read from image 2
+        return me
+
+    result = run_spmd(main, num_images=16, images_per_node=8)
+
+Every operation that moves data or synchronizes is a generator (``yield
+from``), because it takes simulated time; pure queries (``this_image``)
+are plain calls.  Image indices in the public API are **1-based within
+the current team**, exactly as in Coarray Fortran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..calibration import ConduitProfile
+from ..collectives.registry import resolve
+from ..machine import Machine, MachineSpec, Placement, TrafficSnapshot, build_machine, paper_cluster
+from ..sim import Engine, Process, SimEvent, Timeout, Wait
+from ..teams.formation import form_team as _form_team
+from ..teams.team import INITIAL_TEAM_NUMBER, TeamShared, TeamView
+from .atomics import AtomicVar
+from .coarray import Coarray
+from .conduit import Conduit
+from .config import UHCAF_2LEVEL, RuntimeConfig
+from .events import EventVar
+from .locks import LockVar
+from .sync import MEMORY_FENCE_COST, PairwiseSync
+
+__all__ = ["World", "CafContext", "SpmdResult", "RmaHandle", "run_spmd"]
+
+#: request message size of a one-sided get
+GET_REQUEST_NBYTES = 16
+
+
+@dataclass
+class RmaHandle:
+    """Completion handle of a non-blocking RMA operation.
+
+    ``source_done`` fires when the source buffer is reusable (injection
+    finished); ``delivered`` fires when the payload is visible at the
+    target (and, for gets, carries the fetched value).  Wait with
+    :meth:`CafContext.wait_rma`.
+    """
+
+    source_done: SimEvent
+    delivered: SimEvent
+
+
+class World:
+    """Everything shared by the images of one SPMD run."""
+
+    def __init__(self, machine: Machine, config: RuntimeConfig,
+                 jitter_seed: int = 0, trace: bool = False):
+        self.engine = machine.engine
+        self.machine = machine
+        self.config = config
+        self.conduit = Conduit(
+            machine, config.conduit_profile, hierarchy_aware=config.hierarchy_aware
+        )
+        self.initial_shared = TeamShared(
+            engine=self.engine,
+            topology=machine.topology,
+            members=list(range(machine.num_images)),
+            team_number=INITIAL_TEAM_NUMBER,
+            parent=None,
+            leader_strategy=config.leader_strategy,
+        )
+        self.pairwise = PairwiseSync(self.engine)
+        self.coarrays: Dict[str, Coarray] = {}
+        self.atomic_vars: Dict[str, AtomicVar] = {}
+        self.event_vars: Dict[str, EventVar] = {}
+        self.lock_vars: Dict[str, LockVar] = {}
+        #: chronological (time, image, op, detail) records when tracing
+        self.trace: Optional[List[Tuple[float, int, str, str]]] = (
+            [] if trace else None
+        )
+        self._jitter_seed = jitter_seed
+        self._jitter_rngs: Dict[int, Any] = {}
+
+    @property
+    def num_images(self) -> int:
+        return self.machine.num_images
+
+    def jitter_factor(self, proc: int) -> float:
+        """Next OS-noise multiplier for image ``proc`` — uniform in
+        [1, 1+jitter], from a per-image seeded stream (reproducible)."""
+        jitter = self.config.compute_jitter
+        if jitter <= 0.0:
+            return 1.0
+        rng = self._jitter_rngs.get(proc)
+        if rng is None:
+            rng = np.random.default_rng((self._jitter_seed, proc))
+            self._jitter_rngs[proc] = rng
+        return 1.0 + jitter * float(rng.random())
+
+
+class CafContext:
+    """One image's handle on the runtime — the lowered form of CAF's
+    intrinsics and statements (the paper's §III subroutine interface)."""
+
+    def __init__(self, world: World, proc: int):
+        self.world = world
+        self.proc = proc
+        self._stack: List[TeamView] = [TeamView(world.initial_shared, proc, None)]
+        self._sync_seen: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing shared with the collectives (duck-typed ctx protocol)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    @property
+    def machine(self) -> Machine:
+        return self.world.machine
+
+    @property
+    def conduit(self) -> Conduit:
+        return self.world.conduit
+
+    @property
+    def config(self) -> RuntimeConfig:
+        return self.world.config
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (the microbenchmarks' stopwatch)."""
+        return self.world.engine.now
+
+    def compute_cost(self, flops: float) -> Timeout:
+        """A yieldable command charging ``flops`` of local work at this
+        image's backend-dependent compute rate (plus configured OS-noise
+        jitter, if any)."""
+        cmd = self.machine.compute(flops, efficiency=self.config.compute_efficiency)
+        factor = self.world.jitter_factor(self.proc)
+        if factor != 1.0:
+            return Timeout(cmd.delay * factor)
+        return cmd
+
+    def _log(self, op: str, detail: str = "") -> None:
+        """Append a trace record if the world is tracing (zero cost)."""
+        if self.world.trace is not None:
+            self.world.trace.append(
+                (self.world.engine.now, self.proc + 1, op, detail)
+            )
+
+    # ------------------------------------------------------------------
+    # Team queries (pure)
+    # ------------------------------------------------------------------
+    @property
+    def current_team(self) -> TeamView:
+        return self._stack[-1]
+
+    @property
+    def initial_team(self) -> TeamView:
+        return self._stack[0]
+
+    def this_image(self, team: Optional[TeamView] = None) -> int:
+        """1-based image index in ``team`` (default: the current team)."""
+        view = team if team is not None else self.current_team
+        return view.shared.index_of(self.proc)
+
+    def num_images(self, team: Optional[TeamView] = None) -> int:
+        view = team if team is not None else self.current_team
+        return view.size
+
+    def team_id(self) -> int:
+        """The current team's number (−1 for the initial team, as in OpenUH)."""
+        return self.current_team.team_number
+
+    def get_team(self, level: str = "current") -> TeamView:
+        """``get_team`` intrinsic: the current, parent, or initial team."""
+        if level == "current":
+            return self.current_team
+        if level == "initial":
+            return self.initial_team
+        if level == "parent":
+            parent = self.current_team.parent_view
+            # The initial team is its own parent, per the standard.
+            return parent if parent is not None else self.initial_team
+        raise ValueError(f"unknown team level {level!r}; use current|parent|initial")
+
+    def image_index(self, team: TeamView, initial_index: int) -> int:
+        """Index within ``team`` of the image whose *initial-team* index is
+        ``initial_index``; 0 if it is not a member (CAF convention)."""
+        proc = self.initial_team.shared.proc_of(initial_index)
+        try:
+            return team.shared.index_of(proc)
+        except ValueError:
+            return 0
+
+    def global_image(self, index: Optional[int] = None,
+                     team: Optional[TeamView] = None) -> int:
+        """Initial-team index of team member ``index`` (default: me)."""
+        view = team if team is not None else self.current_team
+        proc = view.shared.proc_of(index) if index is not None else self.proc
+        return self.initial_team.shared.index_of(proc)
+
+    def _proc_of(self, image: int, team: Optional[TeamView] = None) -> int:
+        view = team if team is not None else self.current_team
+        return view.shared.proc_of(image)
+
+    # ------------------------------------------------------------------
+    # Coarray allocation and access
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, shape: Tuple[int, ...], dtype: Any = np.float64,
+                 fill: float = 0.0):
+        """Collectively allocate (or attach to) a coarray; implies SYNC ALL.
+
+        Must be executed by every image of the current team, like a
+        Fortran ``allocate`` of a coarray.  Re-allocation with a different
+        shape or dtype is an error.
+        """
+        registry = self.world.coarrays
+        key = f"t{self.current_team.shared.uid}:{name}"
+        existing = registry.get(key)
+        if existing is None:
+            registry[key] = Coarray(
+                name, tuple(shape), dtype, self.world.num_images, fill=fill
+            )
+        else:
+            if existing.shape != tuple(shape) or existing.dtype != np.dtype(dtype):
+                raise ValueError(
+                    f"coarray {name!r} re-allocated with mismatched "
+                    f"shape/dtype: {existing.shape}/{existing.dtype} vs "
+                    f"{tuple(shape)}/{np.dtype(dtype)}"
+                )
+        yield from self.sync_all()
+        return registry[key]
+
+    def local(self, coarray: Coarray) -> np.ndarray:
+        """My local allocation of ``coarray`` (live view, zero cost)."""
+        return coarray.local(self.proc)
+
+    def put(self, coarray: Coarray, image: int, value: Any,
+            index: Any = None, team: Optional[TeamView] = None):
+        """``A(index)[image] = value``: one-sided write to ``image``'s copy.
+
+        Blocks through source-side completion (the source buffer is
+        reusable on return); the data lands at the target at delivery
+        time, which a subsequent synchronization makes observable —
+        exactly the CAF memory model.
+        """
+        dst = self._proc_of(image, team)
+        nbytes = coarray.nbytes_of(index)
+        self._log("put", f"{coarray.name}->img{image} {nbytes}B")
+        frozen = np.array(value, copy=True) if isinstance(value, np.ndarray) else value
+        yield from self.conduit.transfer(
+            self.proc, dst, nbytes,
+            on_delivered=lambda: coarray.write(dst, frozen, index),
+            path="auto",
+        )
+
+    def put_nb(self, coarray: Coarray, image: int, value: Any,
+               index: Any = None, team: Optional[TeamView] = None):
+        """Non-blocking put: blocks only through posting the operation;
+        returns an :class:`RmaHandle` (via ``yield from``).  The data
+        lands at the target when ``handle.delivered`` fires; wait with
+        :meth:`wait_rma` or rely on a subsequent synchronization."""
+        dst = self._proc_of(image, team)
+        nbytes = coarray.nbytes_of(index)
+        self._log("put_nb", f"{coarray.name}->img{image} {nbytes}B")
+        frozen = np.array(value, copy=True) if isinstance(value, np.ndarray) else value
+        delivered = SimEvent(self.engine, name="put_nb.delivered")
+
+        def deliver() -> None:
+            coarray.write(dst, frozen, index)
+            delivered.trigger()
+
+        source_done = yield from self.conduit.transfer_nb(
+            self.proc, dst, nbytes, on_delivered=deliver, path="auto"
+        )
+        return RmaHandle(source_done=source_done, delivered=delivered)
+
+    def get_nb(self, coarray: Coarray, image: int, index: Any = None,
+               team: Optional[TeamView] = None):
+        """Non-blocking get: posts the read and returns an
+        :class:`RmaHandle`; ``wait_rma`` returns the fetched value
+        (snapshotted at the moment the response leaves the target)."""
+        src = self._proc_of(image, team)
+        nbytes = coarray.nbytes_of(index)
+        self._log("get_nb", f"{coarray.name}<-img{image} {nbytes}B")
+        delivered = SimEvent(self.engine, name="get_nb.delivered")
+        if src == self.proc:
+            delivered.trigger(coarray.read(src, index))
+            done = SimEvent(self.engine)
+            done.trigger()
+            return RmaHandle(source_done=done, delivered=delivered)
+        machine = self.machine
+        ps = machine.topology.placement(src)
+        pd = machine.topology.placement(self.proc)
+
+        def respond() -> None:
+            # RDMA-style response: target NIC streams the data back with
+            # no target CPU involvement.
+            value = coarray.read(src, index)
+            machine.transfer_async(
+                src, self.proc, nbytes,
+                on_delivered=lambda: delivered.trigger(value),
+            )
+
+        source_done = yield from self.conduit.transfer_nb(
+            self.proc, src, GET_REQUEST_NBYTES, on_delivered=respond,
+            path="auto",
+        )
+        return RmaHandle(source_done=source_done, delivered=delivered)
+
+    def wait_rma(self, handle: RmaHandle):
+        """Block until a non-blocking operation's payload is delivered;
+        returns the fetched value for gets (None for puts)."""
+        value = yield Wait(handle.delivered)
+        return value
+
+    def get(self, coarray: Coarray, image: int, index: Any = None,
+            team: Optional[TeamView] = None):
+        """``value = A(index)[image]``: one-sided read; returns the data."""
+        src = self._proc_of(image, team)
+        if src == self.proc:
+            return coarray.read(src, index)
+        nbytes = coarray.nbytes_of(index)
+        done = SimEvent(self.engine, name="get.done")
+        # Request reaches the target's memory system...
+        yield from self.conduit.transfer(
+            self.proc, src, GET_REQUEST_NBYTES, on_delivered=None, path="auto"
+        )
+        # ...then the payload streams back (read at delivery time, so a
+        # racing writer's last committed value is what we see).
+        yield from self.conduit.transfer(
+            src, self.proc, nbytes,
+            on_delivered=lambda: done.trigger(coarray.read(src, index)),
+            path="auto",
+        )
+        value = yield Wait(done)
+        return value
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def sync_all(self):
+        """``sync all``: barrier over the current team, using the
+        configured strategy."""
+        self._log("sync_all", f"team{self.current_team.shared.uid}")
+        yield from self.sync_team(self.current_team)
+
+    def sync_team(self, team: TeamView):
+        """``sync team(T)``: barrier over team ``T`` (must be the current
+        team or an ancestor/descendant this image belongs to)."""
+        barrier = resolve("barrier", self.config.barrier)
+        yield from barrier(self, team)
+
+    def sync_images(self, images: Union[str, Sequence[int]]):
+        """``sync images(L)``: pairwise rendezvous with each image in
+        ``L`` (current-team indices), or with everyone for ``'*'``."""
+        view = self.current_team
+        if isinstance(images, str):
+            if images != "*":
+                raise ValueError(f"sync images: expected indices or '*', got {images!r}")
+            peers = [view.shared.proc_of(i) for i in range(1, view.size + 1)]
+        else:
+            peers = [view.shared.proc_of(i) for i in images]
+        yield from self.world.pairwise.sync_images(
+            self.conduit, self.proc, peers, self._sync_seen
+        )
+
+    def sync_memory(self):
+        """``sync memory``: local fence."""
+        yield Timeout(MEMORY_FENCE_COST)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def co_reduce(self, value: Any, op: str = "sum",
+                  result_image: Optional[int] = None,
+                  team: Optional[TeamView] = None):
+        """Team reduction with the configured strategy; returns the result
+        (on every image, or only on ``result_image`` if given).
+
+        ``team`` selects a team other than the current one — the CAF 2.0
+        style team-qualified collective the HPC Challenge/HPL ports use
+        to avoid a ``change team`` round-trip per call.
+        """
+        fn = resolve("reduce", self.config.reduce)
+        view = team if team is not None else self.current_team
+        result = yield from fn(self, view, value, op, result_image=result_image)
+        return result
+
+    def co_sum(self, value: Any, result_image: Optional[int] = None,
+               team: Optional[TeamView] = None):
+        result = yield from self.co_reduce(value, "sum", result_image, team)
+        return result
+
+    def co_max(self, value: Any, result_image: Optional[int] = None,
+               team: Optional[TeamView] = None):
+        result = yield from self.co_reduce(value, "max", result_image, team)
+        return result
+
+    def co_min(self, value: Any, result_image: Optional[int] = None,
+               team: Optional[TeamView] = None):
+        result = yield from self.co_reduce(value, "min", result_image, team)
+        return result
+
+    def co_broadcast(self, value: Any, source_image: int,
+                     team: Optional[TeamView] = None):
+        """Team broadcast from ``source_image``; returns the payload
+        everywhere.  ``team`` works as in :meth:`co_reduce`."""
+        fn = resolve("broadcast", self.config.broadcast)
+        view = team if team is not None else self.current_team
+        result = yield from fn(self, view, value, source_image)
+        return result
+
+    def co_alltoall(self, payloads, team: Optional[TeamView] = None):
+        """Personalized all-to-all: ``payloads`` maps every team index
+        (dict, or a list in index order) to that member's datum; returns
+        the dict of received data keyed by sender.  (Extension — the
+        methodology's stress test; see collectives.alltoall.)"""
+        fn = resolve("alltoall", self.config.alltoall)
+        view = team if team is not None else self.current_team
+        result = yield from fn(self, view, payloads)
+        return result
+
+    def co_allgather(self, value: Any, team: Optional[TeamView] = None):
+        """Gather every member's contribution; returns the list ordered
+        by team index, on every image.  (Extension beyond the paper's
+        three collectives — the natural fourth member of the family,
+        with the same flat/two-level strategy split.)"""
+        fn = resolve("allgather", self.config.allgather)
+        view = team if team is not None else self.current_team
+        result = yield from fn(self, view, value)
+        return result
+
+    # ------------------------------------------------------------------
+    # Teams
+    # ------------------------------------------------------------------
+    def form_team(self, team_number: int, new_index: Optional[int] = None):
+        """``form team(team_number, T [, new_index=...])``; returns the new
+        team's view (inert until ``change_team``)."""
+        view = yield from _form_team(self, self.current_team, team_number, new_index)
+        return view
+
+    def change_team(self, team: TeamView):
+        """``change team(T)``: make ``T`` current; implicit sync of ``T``."""
+        if team.proc != self.proc:
+            raise ValueError("change_team: view belongs to another image")
+        if team.parent_view is not self.current_team:
+            raise ValueError(
+                "change_team: team was not formed from the current team"
+            )
+        self._stack.append(team)
+        yield from self.sync_team(team)
+
+    def end_team(self):
+        """``end team``: implicit sync of the current team, then pop."""
+        if len(self._stack) == 1:
+            raise RuntimeError("end_team without matching change_team")
+        yield from self.sync_team(self.current_team)
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Atomics & events
+    # ------------------------------------------------------------------
+    def atomic_var(self, name: str, initial: int = 0):
+        """Collectively create/attach an atomic integer coarray; implies
+        SYNC ALL so no image races the creation."""
+        registry = self.world.atomic_vars
+        if name not in registry:
+            registry[name] = AtomicVar(self.conduit, name, initial=initial)
+        yield from self.sync_all()
+        return registry[name]
+
+    def atomic_add(self, var: AtomicVar, image: int, value: int):
+        yield from var.update(self.proc, self._proc_of(image), "add", value)
+
+    def atomic_op(self, var: AtomicVar, image: int, op: str, value: int):
+        yield from var.update(self.proc, self._proc_of(image), op, value)
+
+    def atomic_define(self, var: AtomicVar, image: int, value: int):
+        yield from var.define(self.proc, self._proc_of(image), value)
+
+    def atomic_ref(self, var: AtomicVar) -> int:
+        """Local read of my own atomic (plain load)."""
+        return var.value(self.proc)
+
+    def atomic_fetch_add(self, var: AtomicVar, image: int, value: int):
+        old = yield from var.fetch_update(self.proc, self._proc_of(image), "add", value)
+        return old
+
+    def atomic_cas(self, var: AtomicVar, image: int, expected: int, desired: int):
+        old = yield from var.compare_and_swap(
+            self.proc, self._proc_of(image), expected, desired
+        )
+        return old
+
+    def event_var(self, name: str):
+        registry = self.world.event_vars
+        if name not in registry:
+            registry[name] = EventVar(self.conduit, name)
+        yield from self.sync_all()
+        return registry[name]
+
+    def event_post(self, var: EventVar, image: int):
+        yield from var.post(self.proc, self._proc_of(image))
+
+    def event_wait(self, var: EventVar, until_count: int = 1):
+        yield from var.wait(self.proc, until_count)
+
+    def event_query(self, var: EventVar) -> int:
+        return var.pending(self.proc)
+
+    # ------------------------------------------------------------------
+    # Locks (F2008 lock_type)
+    # ------------------------------------------------------------------
+    def lock_var(self, name: str):
+        """Collectively create/attach a lock coarray; implies SYNC ALL."""
+        registry = self.world.lock_vars
+        if name not in registry:
+            registry[name] = LockVar(self.conduit, name)
+        yield from self.sync_all()
+        return registry[name]
+
+    def lock(self, var: LockVar, image: int, team: Optional[TeamView] = None):
+        """``lock(l[image])``: acquire with remote CAS + backoff."""
+        self._log("lock", f"{var.name}[{image}]")
+        yield from var.acquire(self.proc, self._proc_of(image, team))
+
+    def unlock(self, var: LockVar, image: int, team: Optional[TeamView] = None):
+        """``unlock(l[image])``: release (must be the holder)."""
+        self._log("unlock", f"{var.name}[{image}]")
+        yield from var.release(self.proc, self._proc_of(image, team))
+
+    # ------------------------------------------------------------------
+    # Critical construct (F2008)
+    # ------------------------------------------------------------------
+    def critical_begin(self, name: str = "critical"):
+        """Enter the named ``critical`` construct: at most one image
+        executes the bracketed code at a time.  Lowered (as in OpenUH) to
+        a runtime lock homed on image 1 of the initial team.  Pair with
+        :meth:`critical_end`; distinct ``name``\\ s are independent
+        constructs, as distinct CRITICAL blocks are in Fortran."""
+        registry = self.world.lock_vars
+        key = f"__critical__{name}"
+        var = registry.get(key)
+        if var is None:
+            # First arrival creates the underlying lock; no collective
+            # allocation is needed (the construct is statically named).
+            var = registry[key] = LockVar(self.conduit, key)
+        self._log("critical", name)
+        yield from var.acquire(self.proc, 0)
+
+    def critical_end(self, name: str = "critical"):
+        """Leave the named ``critical`` construct."""
+        var = self.world.lock_vars[f"__critical__{name}"]
+        yield from var.release(self.proc, 0)
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def compute(self, flops: float = 0.0, seconds: float = 0.0):
+        """Charge local computation: ``flops`` at the backend rate and/or a
+        flat ``seconds``."""
+        if flops > 0.0:
+            yield self.compute_cost(flops)
+        if seconds > 0.0:
+            yield Timeout(seconds)
+        if flops <= 0.0 and seconds <= 0.0:
+            yield Timeout(0.0)
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    #: simulated completion time of the whole program (seconds)
+    time: float
+    #: per-image return values of ``main``, ordered by initial image index
+    results: List[Any]
+    #: cumulative fabric traffic over the run
+    traffic: TrafficSnapshot
+    #: the world, for post-mortem inspection (coarrays, counters, teams)
+    world: World
+
+    @property
+    def trace(self) -> Optional[List[Tuple[float, int, str, str]]]:
+        """Chronological (time, image, op, detail) records, when the run
+        was launched with ``trace=True``."""
+        return self.world.trace
+
+
+def run_spmd(
+    main: Callable[[CafContext], Any],
+    num_images: Optional[int] = None,
+    images_per_node: Optional[int] = None,
+    spec: Optional[MachineSpec] = None,
+    machine: Optional[Machine] = None,
+    config: RuntimeConfig = UHCAF_2LEVEL,
+    placements: Optional[Sequence[Placement]] = None,
+    args: Tuple = (),
+    max_events: Optional[int] = None,
+    trace: bool = False,
+    jitter_seed: int = 0,
+) -> SpmdResult:
+    """Run ``main(ctx, *args)`` as an SPMD program on a simulated cluster.
+
+    Either supply a prebuilt ``machine`` or let this build one from
+    ``spec`` (default: the paper's cluster, sized to fit) with
+    ``num_images`` and ``images_per_node``/``placements``.  ``trace=True``
+    records every logged runtime operation on ``result.trace``;
+    ``jitter_seed`` selects the OS-noise stream when the config enables
+    ``compute_jitter``.
+    """
+    if machine is None:
+        if num_images is None:
+            raise ValueError("need num_images (or a prebuilt machine)")
+        if spec is None:
+            ipn = images_per_node or 1
+            needed = -(-num_images // ipn)
+            spec = paper_cluster(max(needed, 1))
+        engine = Engine() if max_events is None else Engine(max_events=max_events)
+        machine = build_machine(
+            engine, spec, num_images,
+            images_per_node=images_per_node, placements=placements,
+        )
+    else:
+        engine = machine.engine
+
+    world = World(machine, config, jitter_seed=jitter_seed, trace=trace)
+    processes = []
+    for proc in range(machine.num_images):
+        ctx = CafContext(world, proc)
+        gen = main(ctx, *args)
+        processes.append(Process(engine, gen, name=f"image{proc + 1}"))
+    final_time = engine.run()
+    return SpmdResult(
+        time=final_time,
+        results=[p.result for p in processes],
+        traffic=machine.traffic(),
+        world=world,
+    )

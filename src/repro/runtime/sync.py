@@ -1,0 +1,72 @@
+"""Pairwise image synchronization (``sync images``) and memory fences.
+
+``sync images (L)`` is a rendezvous between this image and every image in
+``L``: each side both notifies and waits.  The runtime keeps one
+monotonically increasing notification counter per *ordered* image pair
+(allocated lazily — an n² table would be wasteful and real runtimes don't
+build one either), and each image remembers how many rendezvous with each
+peer it has completed, so the wait predicate is a simple monotone
+threshold — the same carry trick the dissemination barrier uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+from ..sim import Cell, Engine, Timeout, WaitFor
+from .conduit import Conduit
+
+__all__ = ["PairwiseSync", "SYNC_NBYTES", "MEMORY_FENCE_COST"]
+
+SYNC_NBYTES = 8
+#: cost of ``sync memory`` — a full fence plus runtime bookkeeping
+MEMORY_FENCE_COST = 0.08e-6
+
+
+class PairwiseSync:
+    """Shared notification counters for ``sync images``."""
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+        self._cells: Dict[Tuple[int, int], Cell] = {}
+
+    def cell(self, notifier_proc: int, waiter_proc: int) -> Cell:
+        key = (notifier_proc, waiter_proc)
+        c = self._cells.get(key)
+        if c is None:
+            c = Cell(self._engine, 0, name=f"syncimg[{notifier_proc}->{waiter_proc}]")
+            self._cells[key] = c
+        return c
+
+    def sync_images(
+        self,
+        conduit: Conduit,
+        my_proc: int,
+        peer_procs: Sequence[int],
+        seen: Dict[int, int],
+    ) -> Iterator:
+        """Run one rendezvous between ``my_proc`` and each of ``peer_procs``.
+
+        ``seen`` is the calling image's per-peer completed-rendezvous
+        counter (mutated here).  Self-synchronization is a no-op per the
+        standard.  Notifications all go out before any wait, so a set of
+        images syncing pairwise cannot deadlock.
+        """
+        peers = [p for p in peer_procs if p != my_proc]
+        if len(set(peers)) != len(peers):
+            raise ValueError("sync images: duplicate image in list")
+        for peer in peers:
+            cell = self.cell(my_proc, peer)
+            yield from conduit.transfer(
+                my_proc, peer, SYNC_NBYTES,
+                on_delivered=lambda c=cell: c.add(1), path="auto",
+            )
+        for peer in peers:
+            expected = seen.get(peer, 0) + 1
+            yield WaitFor(self.cell(peer, my_proc), lambda v, e=expected: v >= e)
+            seen[peer] = expected
+
+
+def sync_memory() -> Iterator:
+    """``sync memory``: order prior accesses; pure local cost."""
+    yield Timeout(MEMORY_FENCE_COST)

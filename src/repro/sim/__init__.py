@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate everything else stands on: a
+reproducible event-heap engine (:mod:`~repro.sim.engine`), wait/wake
+primitives (:mod:`~repro.sim.primitives`), and generator-based simulated
+processes (:mod:`~repro.sim.process`).
+"""
+
+from .engine import Engine
+from .errors import (
+    DeadlockError,
+    ProcessFailure,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from .primitives import Cell, Resource, SimEvent
+from .process import Acquire, Hold, ProcGen, Process, Timeout, Wait, WaitFor
+
+__all__ = [
+    "Engine",
+    "SimEvent",
+    "Cell",
+    "Resource",
+    "Process",
+    "ProcGen",
+    "Timeout",
+    "Wait",
+    "WaitFor",
+    "Acquire",
+    "Hold",
+    "SimulationError",
+    "DeadlockError",
+    "ProcessFailure",
+    "SimulationLimitExceeded",
+]

@@ -1,0 +1,156 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the clock and scheduler underneath everything in
+:mod:`repro`: the machine model charges communication costs by scheduling
+callbacks, and the CAF runtime's images are generator-based processes
+(:mod:`repro.sim.process`) resumed by this engine.
+
+Determinism is a hard requirement — a reproduction is useless if two runs
+of the same benchmark disagree — so events are ordered by
+``(time, priority, sequence)`` where ``sequence`` is a monotonically
+increasing insertion counter. Two events at the same instant always fire
+in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+from .errors import DeadlockError, SimulationLimitExceeded
+
+__all__ = ["Engine"]
+
+#: Default ceiling on processed events; generous enough for the largest
+#: benchmark in the suite (HPL at 256 images) while still catching livelock.
+DEFAULT_MAX_EVENTS = 500_000_000
+
+
+class Engine:
+    """Event-heap simulation kernel with a float-seconds clock.
+
+    Parameters
+    ----------
+    max_events:
+        Safety ceiling on the number of processed events.  Exceeding it
+        raises :class:`~repro.sim.errors.SimulationLimitExceeded`.
+    trace:
+        Optional callable invoked as ``trace(time, label)`` for every
+        event that carries a label; useful in tests that assert ordering.
+    """
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        trace: Optional[Callable[[float, str], None]] = None,
+    ):
+        self._heap: list[tuple[float, int, int, Callable[[], None], str]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._max_events = int(max_events)
+        self._events_processed = 0
+        self._trace = trace
+        # Registry of blocked-process descriptions for deadlock reporting.
+        # Keyed by an opaque token so waiters can deregister in O(1).
+        self._blocked: dict[int, str] = {}
+        self._blocked_seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events the run loop has dispatched so far."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Run ``fn`` after ``delay`` simulated seconds.
+
+        ``delay`` must be finite and non-negative: simulated causality only
+        flows forward.  ``priority`` breaks ties at equal timestamps (lower
+        fires first), and insertion order breaks remaining ties.
+        """
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), fn, label)
+        )
+
+    def call_now(self, fn: Callable[[], None], label: str = "") -> None:
+        """Schedule ``fn`` at the current instant (after pending same-time events)."""
+        self.schedule(0.0, fn, label=label)
+
+    # ------------------------------------------------------------------
+    # Blocked-process bookkeeping (for deadlock diagnostics)
+    # ------------------------------------------------------------------
+    def note_blocked(self, description: str) -> int:
+        """Record that a process is blocked; returns a token for :meth:`note_unblocked`."""
+        token = next(self._blocked_seq)
+        self._blocked[token] = description
+        return token
+
+    def note_unblocked(self, token: int) -> None:
+        """Forget a blocked-process record created by :meth:`note_blocked`."""
+        self._blocked.pop(token, None)
+
+    @property
+    def blocked_descriptions(self) -> list[str]:
+        """Descriptions of currently blocked processes (ordered by block time)."""
+        return [self._blocked[k] for k in sorted(self._blocked)]
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single earliest event. Returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        time, _prio, _seq, fn, label = heapq.heappop(self._heap)
+        # The clock never moves backwards; equal times are fine.
+        self._now = time
+        self._events_processed += 1
+        if self._events_processed > self._max_events:
+            raise SimulationLimitExceeded(
+                f"exceeded max_events={self._max_events} at t={self._now:.9f}s"
+            )
+        if self._trace is not None and label:
+            self._trace(time, label)
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.  If the queue drains while
+        processes are still registered as blocked, raises
+        :class:`~repro.sim.errors.DeadlockError` — silence is never
+        mistaken for success.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if self._blocked:
+                raise DeadlockError(self.blocked_descriptions)
+            return self._now
+        finally:
+            self._running = False

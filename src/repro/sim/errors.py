@@ -1,0 +1,63 @@
+"""Error types raised by the discrete-event simulation kernel.
+
+Keeping simulation failures in their own exception hierarchy lets callers
+distinguish "the simulated program is wrong" (e.g. :class:`DeadlockError`,
+which usually means a barrier rendezvous never completed) from ordinary
+Python bugs in the model code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "ProcessFailure",
+    "SimulationLimitExceeded",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulation-kernel errors."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    In an SPMD simulation this almost always indicates a synchronization
+    bug in the simulated program: an image waiting on a flag that nobody
+    will ever set, or a barrier entered by only a subset of a team.
+    The ``blocked`` attribute lists human-readable descriptions of the
+    stuck processes to make the failure debuggable.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        preview = ", ".join(self.blocked[:8])
+        if len(self.blocked) > 8:
+            preview += f", ... ({len(self.blocked) - 8} more)"
+        super().__init__(
+            f"deadlock: event queue empty with {len(self.blocked)} "
+            f"blocked process(es): {preview}"
+        )
+
+
+class ProcessFailure(SimulationError):
+    """A simulated process raised an exception.
+
+    The original exception is chained as ``__cause__`` and also stored on
+    the ``original`` attribute, with the failing process name on ``process``.
+    """
+
+    def __init__(self, process: str, original: BaseException):
+        self.process = process
+        self.original = original
+        super().__init__(f"process {process!r} failed: {original!r}")
+        self.__cause__ = original
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The engine hit a configured safety limit (max events or max time).
+
+    Safety limits exist so a livelocked model fails loudly instead of
+    spinning forever; see :class:`repro.sim.engine.Engine`.
+    """

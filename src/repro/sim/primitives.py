@@ -1,0 +1,224 @@
+"""Synchronization primitives for simulated processes.
+
+Three primitives cover everything the PGAS runtime needs:
+
+* :class:`SimEvent` — a one-shot triggerable event (completion of an RMA
+  operation, release of a resource grant).
+* :class:`Cell` — a watched mutable value with wake-on-write semantics.
+  This is the simulation analogue of a *spin-wait on a flag in shared
+  memory*: waiting costs nothing until the producing write happens, which
+  is exactly how a cache-coherent spin loop behaves from the outside.
+  ``sync_flags`` words, barrier counters and event counts are all Cells.
+* :class:`Resource` — a FIFO counting semaphore used for serialization
+  points in the machine model (a node's NIC injection port, a memory bus).
+  FIFO ordering keeps the simulation deterministic under contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from .engine import Engine
+
+__all__ = ["SimEvent", "Cell", "Resource"]
+
+
+class SimEvent:
+    """One-shot event: callbacks registered before the trigger fire on trigger;
+    callbacks registered after fire immediately (at the current instant)."""
+
+    __slots__ = ("_engine", "_triggered", "_value", "_callbacks", "name")
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self._engine = engine
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError(f"event {self.name!r} read before trigger")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters. Triggering twice is an error:
+        one-shot semantics are what the runtime's completion logic relies on."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event fires (immediately if it has)."""
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Cell:
+    """A watched scalar with wake-on-write.
+
+    ``wait_until(pred, cb)`` registers a predicate over the cell's value;
+    the callback runs as soon as a write makes the predicate true (or
+    immediately if it already is).  Watchers are checked in registration
+    order, and a watcher that fires is removed before its callback runs so
+    the callback may freely re-register.
+
+    The runtime uses Cells for everything an image would spin on:
+    dissemination ``sync_flags`` counters, linear-barrier arrival counts,
+    event-post counts.  Reads and writes are instantaneous — the *cost* of
+    producing the write (the remote put, the memory-bus transaction) is
+    charged by the machine model before ``set`` is called.
+    """
+
+    __slots__ = ("_engine", "_value", "_watchers", "name", "_seq")
+
+    def __init__(self, engine: Engine, value: Any = 0, name: str = ""):
+        self._engine = engine
+        self._value = value
+        self._watchers: dict[int, tuple[Callable[[Any], bool], Callable[[Any], None]]] = {}
+        self._seq = itertools.count()
+        self.name = name
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._value = value
+        self._check_watchers()
+
+    def add(self, delta: Any) -> Any:
+        """Atomic read-modify-write (the simulation is single-threaded, so
+        plain += is atomic); returns the new value."""
+        self._value = self._value + delta
+        self._check_watchers()
+        return self._value
+
+    def _check_watchers(self) -> None:
+        if not self._watchers:
+            return
+        # Snapshot: callbacks may register new watchers or write the cell.
+        for key in sorted(self._watchers):
+            entry = self._watchers.get(key)
+            if entry is None:
+                continue
+            pred, cb = entry
+            if pred(self._value):
+                del self._watchers[key]
+                cb(self._value)
+
+    def wait_until(
+        self, pred: Callable[[Any], bool], callback: Callable[[Any], None]
+    ) -> Optional[int]:
+        """Run ``callback(value)`` once ``pred(value)`` holds.
+
+        Returns a watcher key if the wait is pending (cancelable via
+        :meth:`cancel_wait`), or ``None`` if the predicate already held and
+        the callback ran synchronously.
+        """
+        if pred(self._value):
+            callback(self._value)
+            return None
+        key = next(self._seq)
+        self._watchers[key] = (pred, callback)
+        return key
+
+    def cancel_wait(self, key: int) -> None:
+        self._watchers.pop(key, None)
+
+
+class Resource:
+    """FIFO counting semaphore: the serialization points of the machine model.
+
+    A NIC that can inject one message every ``gap`` seconds is modeled as a
+    capacity-1 Resource held for ``gap``; eight images flushing barrier
+    notifications through it queue up in deterministic FIFO order — this is
+    precisely the serialization effect the paper's Section IV-A argues
+    makes flat dissemination slow on multicore nodes.
+    """
+
+    __slots__ = ("_engine", "capacity", "_in_use", "_queue", "name", "_granted", "_peak")
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[SimEvent] = []
+        self.name = name
+        self._granted = 0
+        self._peak = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def total_grants(self) -> int:
+        """Lifetime number of acquisitions granted (contention statistics)."""
+        return self._granted
+
+    @property
+    def peak_queue(self) -> int:
+        """Longest queue observed (contention statistics)."""
+        return self._peak
+
+    def acquire(self) -> SimEvent:
+        """Request the resource; the returned event triggers when granted."""
+        grant = SimEvent(self._engine, name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted += 1
+            grant.trigger()
+        else:
+            self._queue.append(grant)
+            self._peak = max(self._peak, len(self._queue))
+        return grant
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.pop(0)
+            self._granted += 1
+            nxt.trigger()
+        else:
+            self._in_use -= 1
+
+    def occupy(self, duration: float, then: Optional[Callable[[], None]] = None) -> SimEvent:
+        """Acquire, hold for ``duration`` simulated seconds, release.
+
+        Returns an event that triggers at release time; ``then`` (if given)
+        runs at that moment.  This is the one-liner the network model uses
+        for NIC injection gaps.
+        """
+        done = SimEvent(self._engine, name=f"{self.name}.occupy")
+
+        def _granted(_: Any) -> None:
+            def _finish() -> None:
+                self.release()
+                if then is not None:
+                    then()
+                done.trigger()
+
+            self._engine.schedule(duration, _finish, label=f"{self.name}.hold")
+
+        self.acquire().on_trigger(_granted)
+        return done

@@ -1,0 +1,169 @@
+"""Generator-based simulated processes.
+
+A simulated process is a Python generator that ``yield``\\ s *command*
+objects; the :class:`Process` driver executes each command against the
+engine and resumes the generator with the command's result.  This gives
+the CAF runtime straight-line SPMD code::
+
+    def image_main(ctx):
+        yield Timeout(1e-6)            # local work
+        yield Wait(some_event)         # block on an RMA completion
+        value = yield WaitFor(cell, lambda v: v >= 3)
+
+Commands
+--------
+``Timeout(delay)``
+    Advance this process by ``delay`` simulated seconds.
+``Wait(event)``
+    Block until a :class:`~repro.sim.primitives.SimEvent` fires; resumes
+    with the event's value.
+``WaitFor(cell, pred)``
+    Block until ``pred(cell.value)``; resumes with the satisfying value.
+    Models a shared-memory spin-wait at zero simulated cost.
+``Acquire(resource)``
+    Block until the resource is granted; the process must later call
+    ``resource.release()`` itself.
+``Hold(resource, duration)``
+    Acquire, hold for ``duration``, release; resumes at release time.
+
+Sub-generators compose with plain ``yield from``, so runtime layers nest
+without any driver support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from .engine import Engine
+from .errors import ProcessFailure
+from .primitives import Cell, Resource, SimEvent
+
+__all__ = ["Timeout", "Wait", "WaitFor", "Acquire", "Hold", "Process", "ProcGen"]
+
+#: Type alias for the generator signature simulated processes must have.
+ProcGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Advance the issuing process by ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until ``event`` triggers; the process resumes with its value."""
+
+    event: SimEvent
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    """Block until ``pred(cell.value)`` is true (wake-on-write, zero cost)."""
+
+    cell: Cell
+    pred: Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Block until ``resource`` is granted; caller must release it."""
+
+    resource: Resource
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Acquire ``resource``, hold it ``duration`` seconds, then release."""
+
+    resource: Resource
+    duration: float
+
+
+class Process:
+    """Drives one generator to completion against an engine.
+
+    The ``done`` event triggers with the generator's return value when the
+    process finishes.  Exceptions raised inside the generator are wrapped
+    in :class:`~repro.sim.errors.ProcessFailure` and re-raised out of the
+    engine's run loop — a crashed image never fails silently.
+    """
+
+    def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc"):
+        self._engine = engine
+        self._gen = gen
+        self.name = name
+        self.done = SimEvent(engine, name=f"{name}.done")
+        self._blocked_token: Optional[int] = None
+        self._finished = False
+        # Start at the current instant so spawn order = first-step order.
+        engine.call_now(lambda: self._step(None), label=f"{name}.start")
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    # ------------------------------------------------------------------
+    def _mark_blocked(self, why: str) -> None:
+        self._blocked_token = self._engine.note_blocked(f"{self.name}: {why}")
+
+    def _resume(self, value: Any) -> None:
+        if self._blocked_token is not None:
+            self._engine.note_unblocked(self._blocked_token)
+            self._blocked_token = None
+        self._step(value)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - wrap and surface any model bug
+            self._finished = True
+            raise ProcessFailure(self.name, exc) from exc
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._engine.schedule(
+                command.delay, lambda: self._step(None), label=f"{self.name}.timeout"
+            )
+        elif isinstance(command, Wait):
+            ev = command.event
+            if not ev.triggered:
+                self._mark_blocked(f"waiting on event {ev.name!r}")
+            ev.on_trigger(self._resume)
+        elif isinstance(command, WaitFor):
+            cell, pred = command.cell, command.pred
+            if not pred(cell.value):
+                self._mark_blocked(f"waiting on cell {cell.name!r}")
+            cell.wait_until(pred, self._resume)
+        elif isinstance(command, Acquire):
+            res = command.resource
+            grant = res.acquire()
+            if not grant.triggered:
+                self._mark_blocked(f"acquiring resource {res.name!r}")
+            grant.on_trigger(self._resume)
+        elif isinstance(command, Hold):
+            res, dur = command.resource, command.duration
+            done = res.occupy(dur)
+            if not done.triggered:
+                self._mark_blocked(f"holding resource {res.name!r}")
+            done.on_trigger(self._resume)
+        else:
+            raise ProcessFailure(
+                self.name,
+                TypeError(f"process yielded non-command object {command!r}"),
+            )

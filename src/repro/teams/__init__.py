@@ -1,0 +1,18 @@
+"""Coarray Fortran teams: ``team_type``, formation, and hierarchy metadata.
+
+Implements the paper's §III (team support) and the formation-time
+hierarchy precomputation of §IV-A.
+"""
+
+from .formation import form_team
+from .hierarchy import LEADER_STRATEGIES, HierarchyInfo
+from .team import INITIAL_TEAM_NUMBER, TeamShared, TeamView
+
+__all__ = [
+    "form_team",
+    "HierarchyInfo",
+    "LEADER_STRATEGIES",
+    "TeamShared",
+    "TeamView",
+    "INITIAL_TEAM_NUMBER",
+]

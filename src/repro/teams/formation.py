@@ -1,0 +1,122 @@
+"""Team formation: ``form team`` / ``change team`` / ``end team`` (§III).
+
+``form_team`` is collective over the current team: every member calls it
+with a *team number*; members supplying the same number become one new
+team.  The exchange is modeled the way a runtime actually implements a
+split — member metadata travels to the current team's index-1 image,
+which computes the partition and distributes assignments — so formation
+has an honest, measurable cost (experiment E9) rather than being free.
+
+The returned :class:`~repro.teams.team.TeamView` is a ``team_type``
+value: inert until ``change team`` makes it current.  ``change team``
+and ``end team`` carry the standard's implicit synchronization of the
+new team (we run the configured barrier).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .team import TeamShared, TeamView
+
+__all__ = ["form_team", "FORM_RECORD_NBYTES"]
+
+#: metadata record exchanged per member during formation
+#: (parent index, team number, requested new index, node id)
+FORM_RECORD_NBYTES = 32
+
+
+def _partition(records: list[tuple[int, int, Optional[int]]]) -> dict[int, list[int]]:
+    """Group formation records into new teams.
+
+    ``records`` holds ``(parent_index, team_number, new_index)`` for every
+    member of the parent team.  Returns ``team_number → parent indices
+    ordered by new-team index``.  Within a group either every member
+    requested a ``new_index`` (which must then be exactly 1..size) or none
+    did (members are ordered by parent index, the processor-dependent
+    default OpenUH uses).
+    """
+    groups: dict[int, list[tuple[int, Optional[int]]]] = {}
+    for parent_index, number, new_index in records:
+        groups.setdefault(number, []).append((parent_index, new_index))
+
+    out: dict[int, list[int]] = {}
+    for number, entries in groups.items():
+        requested = [e for e in entries if e[1] is not None]
+        if requested and len(requested) != len(entries):
+            raise ValueError(
+                f"form team {number}: NEW_INDEX given by {len(requested)} of "
+                f"{len(entries)} members — must be all or none"
+            )
+        if requested:
+            indices = sorted(e[1] for e in entries)
+            if indices != list(range(1, len(entries) + 1)):
+                raise ValueError(
+                    f"form team {number}: NEW_INDEX values {indices} are not "
+                    f"a permutation of 1..{len(entries)}"
+                )
+            ordered = sorted(entries, key=lambda e: e[1])
+        else:
+            ordered = sorted(entries, key=lambda e: e[0])
+        out[number] = [parent_index for parent_index, _ in ordered]
+    return out
+
+
+def form_team(
+    ctx,
+    view: TeamView,
+    team_number: int,
+    new_index: Optional[int] = None,
+) -> Iterator:
+    """Collectively split ``view``'s team; returns this image's
+    :class:`TeamView` of its new team (via ``yield from``)."""
+    if team_number < 0:
+        raise ValueError(
+            f"team_number must be >= 0 (negative ids are reserved), got {team_number}"
+        )
+    shared = view.shared
+    tag = view.next_op_tag("form")
+    root = 1
+    me = view.index
+    record = (me, team_number, new_index)
+
+    from ..collectives.reduce import _send_value, _wait_values  # local import: avoid cycle
+
+    if me != root:
+        yield from _send_value(ctx, view, root, tag, record, path="auto")
+    if me == root:
+        records = [record]
+        if view.size > 1:
+            records += (yield from _wait_values(ctx, view, tag, view.size - 1))
+        partition = _partition(records)
+        shared.formation_counter += 1
+        fseq = shared.formation_counter
+        assignments: dict[int, tuple[TeamShared, int]] = {}
+        for number in sorted(partition):
+            parent_indices = partition[number]
+            members = [shared.proc_of(i) for i in parent_indices]
+            new_shared = TeamShared(
+                engine=ctx.engine,
+                topology=ctx.machine.topology,
+                members=members,
+                team_number=number,
+                parent=shared,
+                leader_strategy=ctx.config.leader_strategy,
+                formation_seq=fseq,
+            )
+            for parent_index in parent_indices:
+                assignments[parent_index] = (new_shared, number)
+        out_tag = tag + ("assign",)
+        for parent_index in range(1, view.size + 1):
+            if parent_index == root:
+                continue
+            yield from _send_value(
+                ctx, view, parent_index, out_tag, assignments[parent_index],
+                path="auto",
+            )
+        my_shared, _ = assignments[root]
+    else:
+        got = yield from _wait_values(ctx, view, tag + ("assign",), 1)
+        my_shared, _ = got[0]
+
+    return TeamView(my_shared, view.proc, parent_view=view)

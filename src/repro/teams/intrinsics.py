@@ -1,0 +1,57 @@
+"""Fortran-style free-function forms of the team intrinsics (§III).
+
+OpenUH lowers ``this_image()``, ``num_images()``, ``team_id()``,
+``get_team()`` and ``image_index()`` to runtime calls; in this
+reproduction those live as methods on
+:class:`~repro.runtime.program.CafContext`.  This module provides the
+free-function spellings so ported Fortran code reads like the original::
+
+    from repro.teams.intrinsics import this_image, num_images, team_id
+
+    def main(ctx):
+        me = this_image(ctx)          # instead of ctx.this_image()
+        ...
+
+All functions are pure queries (no simulated time), matching the
+intrinsics' semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .team import TeamView
+
+__all__ = [
+    "this_image",
+    "num_images",
+    "team_id",
+    "get_team",
+    "image_index",
+]
+
+
+def this_image(ctx, team: Optional[TeamView] = None) -> int:
+    """1-based index of the calling image in ``team`` (default current)."""
+    return ctx.this_image(team)
+
+
+def num_images(ctx, team: Optional[TeamView] = None) -> int:
+    """Number of images in ``team`` (default current)."""
+    return ctx.num_images(team)
+
+
+def team_id(ctx) -> int:
+    """The current team's number (−1 for the initial team)."""
+    return ctx.team_id()
+
+
+def get_team(ctx, level: str = "current") -> TeamView:
+    """The current, parent, or initial team handle."""
+    return ctx.get_team(level)
+
+
+def image_index(ctx, team: TeamView, initial_index: int) -> int:
+    """Index in ``team`` of the image with the given initial-team index,
+    or 0 if it is not a member."""
+    return ctx.image_index(team, initial_index)

@@ -1,0 +1,184 @@
+"""Tests for the all-to-all personalized exchange (and the critical
+construct, which shares the extension family)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+from repro.sim import ProcessFailure
+from tests.conftest import run_small
+
+ALL_A2A = ["linear-flat", "pairwise-flat", "two-level"]
+
+
+def a2a_config(name, base=UHCAF_2LEVEL):
+    return base.with_(alltoall=name)
+
+
+def run_a2a(strategy, images, ipn, payload_of):
+    def main(ctx):
+        me = ctx.this_image()
+        n = ctx.num_images()
+        payloads = {d: payload_of(me, d) for d in range(1, n + 1)}
+        out = yield from ctx.co_alltoall(payloads)
+        return out
+
+    return run_small(
+        main, images=images, ipn=ipn, config=a2a_config(strategy)
+    ).results
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ALL_A2A)
+    def test_everyone_receives_from_everyone(self, strategy):
+        results = run_a2a(strategy, 6, 3, lambda s, d: (s, d))
+        for i, out in enumerate(results):
+            me = i + 1
+            assert out == {s: (s, me) for s in range(1, 7)}
+
+    @pytest.mark.parametrize("strategy", ALL_A2A)
+    def test_array_payloads(self, strategy):
+        results = run_a2a(strategy, 5, 4, lambda s, d: np.full(2, s * 10 + d))
+        for i, out in enumerate(results):
+            me = i + 1
+            for s in range(1, 6):
+                assert (out[s] == s * 10 + me).all()
+
+    @pytest.mark.parametrize("strategy", ALL_A2A)
+    def test_single_image(self, strategy):
+        results = run_a2a(strategy, 1, 1, lambda s, d: "self")
+        assert results == [{1: "self"}]
+
+    @pytest.mark.parametrize("strategy", ALL_A2A)
+    def test_list_form_payloads(self, strategy):
+        def main(ctx):
+            me = ctx.this_image()
+            n = ctx.num_images()
+            out = yield from ctx.co_alltoall([me * 100 + d
+                                              for d in range(1, n + 1)])
+            return out
+
+        results = run_small(main, images=4, config=a2a_config(strategy)).results
+        for i, out in enumerate(results):
+            me = i + 1
+            assert out == {s: s * 100 + me for s in range(1, 5)}
+
+    @pytest.mark.parametrize("strategy", ALL_A2A)
+    def test_on_subteam(self, strategy):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            yield from ctx.change_team(team)
+            n = ctx.num_images()
+            out = yield from ctx.co_alltoall(
+                {d: (ctx.this_image(), d) for d in range(1, n + 1)})
+            yield from ctx.end_team()
+            return out
+
+        results = run_small(main, images=4, config=a2a_config(strategy)).results
+        for out in results:
+            assert set(out) == {1, 2}
+
+    def test_missing_payload_key_rejected(self):
+        def main(ctx):
+            yield from ctx.co_alltoall({1: "x"})  # team size is 2
+
+        with pytest.raises(ProcessFailure, match="one payload per"):
+            run_small(main, images=2)
+
+    @given(
+        strategy=st.sampled_from(ALL_A2A),
+        n=st.integers(min_value=1, max_value=10),
+        ipn=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_shape(self, strategy, n, ipn):
+        results = run_a2a(strategy, n, ipn, lambda s, d: s * 1000 + d)
+        for i, out in enumerate(results):
+            me = i + 1
+            assert out == {s: s * 1000 + me for s in range(1, n + 1)}
+
+
+class TestShape:
+    def _traffic(self, strategy, images=16, ipn=8):
+        def main(ctx):
+            n = ctx.num_images()
+            payloads = {d: np.zeros(16) for d in range(1, n + 1)}
+            yield from ctx.co_alltoall(payloads)
+
+        return run_small(main, images=images, ipn=ipn,
+                         config=a2a_config(strategy)).traffic
+
+    def test_two_level_aggregation_cuts_wire_messages(self):
+        """Flat alltoall crosses the wire once per image pair; two-level
+        once per node pair per aggregation round."""
+        flat = self._traffic("pairwise-flat")
+        two = self._traffic("two-level")
+        # 16 images on 2 nodes: flat crosses 8*8*2 = 128 times;
+        # two-level: leaders exchange once each way = 2 messages.
+        assert flat.inter_messages >= 64
+        assert two.inter_messages == 2
+        # the bytes still have to flow — aggregation trades messages,
+        # not volume (within bundling overhead)
+        assert two.inter_bytes >= 16 * 8 * 64  # 64 cross-node payloads
+
+    def test_two_level_faster_on_colocated_images(self):
+        def bench(strategy):
+            def main(ctx):
+                n = ctx.num_images()
+                payloads = {d: np.zeros(8) for d in range(1, n + 1)}
+                yield from ctx.co_alltoall(payloads)
+                t0 = ctx.now
+                for _ in range(2):
+                    yield from ctx.co_alltoall(payloads)
+                return ctx.now - t0
+
+            return max(run_small(main, images=16, ipn=8,
+                                 config=a2a_config(strategy)).results)
+
+        assert bench("two-level") < bench("pairwise-flat")
+        assert bench("two-level") < bench("linear-flat")
+
+
+class TestCritical:
+    def test_critical_serializes(self):
+        def main(ctx):
+            yield from ctx.critical_begin()
+            enter = ctx.now
+            yield from ctx.compute(seconds=2e-6)
+            exit_ = ctx.now
+            yield from ctx.critical_end()
+            return (enter, exit_)
+
+        result = run_small(main, images=6, ipn=3)
+        windows = sorted(result.results)
+        for (_, ea), (eb, _) in zip(windows, windows[1:]):
+            assert eb >= ea
+
+    def test_named_criticals_are_independent(self):
+        def main(ctx):
+            me = ctx.this_image()
+            name = "A" if me <= 2 else "B"
+            yield from ctx.critical_begin(name)
+            enter = ctx.now
+            yield from ctx.compute(seconds=5e-6)
+            yield from ctx.critical_end(name)
+            return (name, enter)
+
+        result = run_small(main, images=4, ipn=2)
+        by_name = {}
+        for name, enter in result.results:
+            by_name.setdefault(name, []).append(enter)
+        # the two constructs overlapped rather than serializing globally
+        assert min(by_name["B"]) < max(by_name["A"]) + 5e-6
+
+    def test_unbalanced_end_rejected(self):
+        def main(ctx):
+            yield from ctx.critical_begin()
+            yield from ctx.critical_end()
+            yield from ctx.critical_end()
+
+        with pytest.raises(ProcessFailure):
+            run_small(main, images=1, ipn=1)

@@ -1,0 +1,216 @@
+"""Tests for the application kernels (repro.apps): each must match its
+NumPy reference on arbitrary shapes and under every runtime stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    cg_solve,
+    distributed_fft,
+    distributed_transpose,
+    jacobi_solve,
+    reassemble_fft,
+)
+from repro.apps.cg import poisson_matrix
+from repro.runtime.config import NAMED_CONFIGS, UHCAF_2LEVEL
+from repro.sim import ProcessFailure
+from tests.conftest import run_small
+
+
+class TestCg:
+    def _solve(self, n, images, ipn, config=UHCAF_2LEVEL, seed=0):
+        rng = np.random.default_rng(seed)
+        b = rng.random(n)
+
+        def main(ctx):
+            x, iters, res = yield from cg_solve(ctx, b)
+            return x, iters, res
+
+        result = run_small(main, images=images, ipn=ipn, config=config)
+        x = np.concatenate([r[0] for r in result.results])
+        return x, b, result.results[0][1], result.results[0][2]
+
+    @pytest.mark.parametrize("n,images,ipn", [
+        (32, 1, 1), (32, 2, 2), (64, 4, 2), (64, 8, 4), (128, 16, 8),
+    ])
+    def test_matches_dense_solve(self, n, images, ipn):
+        x, b, iters, res = self._solve(n, images, ipn)
+        x_ref = np.linalg.solve(poisson_matrix(n), b)
+        assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < 1e-8
+        assert res < 1e-9
+
+    def test_converges_within_n_iterations(self):
+        _, _, iters, _ = self._solve(64, 4, 2)
+        assert iters <= 64 + 1
+
+    @pytest.mark.parametrize("config_name", sorted(NAMED_CONFIGS))
+    def test_every_stack_same_answer(self, config_name):
+        x, b, _, _ = self._solve(32, 4, 2, config=NAMED_CONFIGS[config_name])
+        x_ref, _, _, _ = self._solve(32, 4, 2)
+        np.testing.assert_allclose(x, x_ref, rtol=1e-12)
+
+    def test_indivisible_rows_rejected(self):
+        def main(ctx):
+            yield from cg_solve(ctx, np.ones(10))
+
+        with pytest.raises(ProcessFailure, match="divide"):
+            run_small(main, images=3, ipn=3)
+
+
+class TestTranspose:
+    def _transpose(self, total_rows, cols, images, ipn):
+        def main(ctx):
+            me = ctx.this_image()
+            rows = total_rows // ctx.num_images()
+            lo = (me - 1) * rows
+            mine = np.add.outer(np.arange(lo, lo + rows) * cols,
+                                np.arange(cols)).astype(float)
+            out = yield from distributed_transpose(ctx, mine, total_rows)
+            return out
+
+        result = run_small(main, images=images, ipn=ipn)
+        return np.vstack(result.results)
+
+    @pytest.mark.parametrize("rows,cols,images,ipn", [
+        (4, 4, 2, 2), (8, 8, 4, 2), (16, 32, 8, 4), (16, 16, 16, 8),
+    ])
+    def test_matches_numpy_transpose(self, rows, cols, images, ipn):
+        full = np.add.outer(np.arange(rows) * cols,
+                            np.arange(cols)).astype(float)
+        out = self._transpose(rows, cols, images, ipn)
+        assert (out == full.T).all()
+
+    def test_double_transpose_is_identity(self):
+        def main(ctx):
+            me = ctx.this_image()
+            rows = 8 // ctx.num_images()
+            rng = np.random.default_rng(me)
+            mine = rng.random((rows, 8))
+            t = yield from distributed_transpose(ctx, mine, 8)
+            back = yield from distributed_transpose(ctx, t, 8)
+            return (back == mine).all()
+
+        assert all(run_small(main, images=4, ipn=2).results)
+
+    def test_bad_shapes_rejected(self):
+        def main(ctx):
+            yield from distributed_transpose(ctx, np.zeros((3, 8)), 8)
+
+        with pytest.raises(ProcessFailure, match="rows"):
+            run_small(main, images=4, ipn=2)
+
+    @given(
+        log_rows=st.integers(min_value=2, max_value=5),
+        log_cols=st.integers(min_value=2, max_value=5),
+        images=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_power_of_two_shape(self, log_rows, log_cols, images):
+        rows, cols = 1 << log_rows, 1 << log_cols
+        full = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+
+        def main(ctx):
+            me = ctx.this_image()
+            r = rows // ctx.num_images()
+            mine = full[(me - 1) * r: me * r]
+            out = yield from distributed_transpose(ctx, mine, rows)
+            return out
+
+        result = run_small(main, images=images, ipn=2)
+        assert (np.vstack(result.results) == full.T).all()
+
+
+class TestFft:
+    @pytest.mark.parametrize("n1,n2,images,ipn", [
+        (8, 8, 2, 2), (16, 8, 4, 2), (16, 32, 8, 4), (32, 32, 16, 8),
+    ])
+    def test_matches_numpy_fft(self, n1, n2, images, ipn):
+        rng = np.random.default_rng(5)
+        signal = rng.random(n1 * n2) + 1j * rng.random(n1 * n2)
+
+        def main(ctx):
+            me = ctx.this_image()
+            rows = n1 // ctx.num_images()
+            mine = signal.reshape(n1, n2)[(me - 1) * rows: me * rows]
+            out = yield from distributed_fft(ctx, mine, n1, n2)
+            return out
+
+        result = run_small(main, images=images, ipn=ipn)
+        w = np.vstack(result.results)
+        got = reassemble_fft(w)
+        ref = np.fft.fft(signal)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+    def test_real_signal(self):
+        signal = np.sin(np.arange(64) * 0.3)
+
+        def main(ctx):
+            me = ctx.this_image()
+            rows = 8 // ctx.num_images()
+            mine = signal.reshape(8, 8)[(me - 1) * rows: me * rows]
+            out = yield from distributed_fft(ctx, mine.astype(complex), 8, 8)
+            return out
+
+        result = run_small(main, images=4, ipn=2)
+        got = reassemble_fft(np.vstack(result.results))
+        np.testing.assert_allclose(got, np.fft.fft(signal), atol=1e-10)
+
+
+class TestStencil:
+    def test_converges_toward_steady_state(self):
+        def main(ctx):
+            strip, residual = yield from jacobi_solve(
+                ctx, rows_per_image=4, cols=16, steps=40, check_every=10)
+            return residual
+
+        residuals = run_small(main, images=4, ipn=2).results
+        assert len(set(residuals)) == 1       # co_max agrees everywhere
+        assert residuals[0] < 10.0
+
+    def test_more_steps_smaller_residual(self):
+        def run(steps):
+            def main(ctx):
+                _, residual = yield from jacobi_solve(
+                    ctx, rows_per_image=4, cols=16, steps=steps,
+                    check_every=steps)
+                return residual
+
+            return run_small(main, images=4, ipn=2).results[0]
+
+        assert run(80) < run(10)
+
+    def test_custom_init(self):
+        def main(ctx):
+            def init(ctx_, strip):
+                strip[:] = 7.0
+
+            strip, _ = yield from jacobi_solve(
+                ctx, rows_per_image=2, cols=8, steps=1, init=init)
+            return float(strip.mean())
+
+        # uniform field is already steady: stays exactly 7
+        results = run_small(main, images=2, ipn=2).results
+        assert all(r == 7.0 for r in results)
+
+    def test_on_subteams(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            yield from ctx.change_team(team)
+            _, residual = yield from jacobi_solve(
+                ctx, rows_per_image=4, cols=8, steps=20)
+            yield from ctx.end_team()
+            return residual
+
+        results = run_small(main, images=4, ipn=2).results
+        assert results[0] == results[1]
+        assert results[2] == results[3]
+
+    def test_bad_args_rejected(self):
+        def main(ctx):
+            yield from jacobi_solve(ctx, 2, 8, steps=0)
+
+        with pytest.raises(ProcessFailure):
+            run_small(main, images=2)

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.bench`` command-line front end."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_barrier_tables(self, capsys):
+        assert main(["barrier", "--nodes", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E2:" in out
+        assert "TDLB (UHCAF 2level)" in out
+        assert "2(2)" in out and "16(2)" in out
+
+    def test_reduce_table_with_payload(self, capsys):
+        assert main(["reduce", "--nodes", "2", "--nelems", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "E3:" in out and "64 element(s)" in out
+        assert "two-level reduction" in out
+
+    def test_broadcast_table(self, capsys):
+        assert main(["broadcast", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E4:" in out and "flat binomial broadcast" in out
+
+    def test_hpl_quick(self, capsys):
+        assert main(["hpl", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "UHCAF 2level" in out and "GFortran" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["warp-speed"])
+
+    def test_custom_ipn(self, capsys):
+        assert main(["barrier", "--nodes", "2", "--ipn", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 images per node" in out

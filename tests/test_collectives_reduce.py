@@ -1,0 +1,236 @@
+"""Reduction tests: every algorithm must produce the NumPy reference
+result for every op, on scalars and arrays, across team shapes —
+including hypothesis-generated cases — and the two-level strategy must
+beat the flat ones where the paper says it does."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.reduce import REDUCE_OPS
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+from repro.sim import ProcessFailure
+from tests.conftest import run_small
+
+ALL_REDUCES = ["linear-flat", "binomial-flat", "recursive-doubling",
+               "rabenseifner", "two-level", "three-level"]
+
+
+def reduce_config(name, base=UHCAF_2LEVEL):
+    return base.with_(reduce=name)
+
+
+def run_reduce(strategy, images, ipn, values, op="sum", result_image=None):
+    """Run co_reduce with per-image ``values[i]``; returns per-image results."""
+
+    def main(ctx):
+        mine = values[ctx.this_image() - 1]
+        out = yield from ctx.co_reduce(mine, op=op, result_image=result_image)
+        return out
+
+    return run_small(
+        main, images=images, ipn=ipn, config=reduce_config(strategy)
+    ).results
+
+
+def reference(values, op):
+    acc = values[0]
+    for v in values[1:]:
+        acc = REDUCE_OPS[op](acc, v)
+    return acc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    @pytest.mark.parametrize("op", ["sum", "max", "min", "prod"])
+    def test_integer_scalars_exact(self, strategy, op):
+        values = [3, -1, 7, 5, 2, 2]
+        results = run_reduce(strategy, images=6, ipn=3, values=values, op=op)
+        expected = reference(values, op)
+        assert all(r == expected for r in results)
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_integer_arrays_exact(self, strategy):
+        values = [np.arange(5, dtype=np.int64) * (i + 1) for i in range(7)]
+        results = run_reduce(strategy, images=7, ipn=4, values=values)
+        expected = sum(values)
+        for r in results:
+            assert (r == expected).all()
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_float_arrays_close(self, strategy):
+        rng = np.random.default_rng(7)
+        values = [rng.normal(size=16) for _ in range(9)]
+        results = run_reduce(strategy, images=9, ipn=4, values=values)
+        expected = np.sum(values, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expected, rtol=1e-12)
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_non_power_of_two_team(self, strategy):
+        values = list(range(1, 12))
+        results = run_reduce(strategy, images=11, ipn=4, values=values)
+        assert all(r == sum(values) for r in results)
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_single_image(self, strategy):
+        results = run_reduce(strategy, images=1, ipn=1, values=[42])
+        assert results == [42]
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_two_images(self, strategy):
+        results = run_reduce(strategy, images=2, ipn=2, values=[10, 32])
+        assert results == [42, 42]
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_result_image_restricts_output(self, strategy):
+        values = [1, 2, 3, 4]
+        results = run_reduce(
+            strategy, images=4, ipn=2, values=values, result_image=3
+        )
+        assert results[2] == 10
+        assert all(r is None for i, r in enumerate(results) if i != 2)
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_result_image_is_root_or_leader(self, strategy):
+        """result_image coinciding with internal roots/leaders must work."""
+        values = [1, 2, 3, 4]
+        results = run_reduce(
+            strategy, images=4, ipn=2, values=values, result_image=1
+        )
+        assert results[0] == 10
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_contribution_not_mutated(self, strategy):
+        def main(ctx):
+            mine = np.full(4, float(ctx.this_image()))
+            yield from ctx.co_sum(mine)
+            return mine.copy()
+
+        results = run_small(
+            main, images=4, ipn=2, config=reduce_config(strategy)
+        ).results
+        for i, r in enumerate(results):
+            assert (r == i + 1).all()
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_repeated_reductions_do_not_cross_talk(self, strategy):
+        def main(ctx):
+            a = yield from ctx.co_sum(ctx.this_image())
+            b = yield from ctx.co_sum(ctx.this_image() * 10)
+            return (a, b)
+
+        results = run_small(
+            main, images=5, ipn=3, config=reduce_config(strategy)
+        ).results
+        assert all(r == (15, 150) for r in results)
+
+    def test_maxloc_combines_value_location_pairs(self):
+        def main(ctx):
+            me = ctx.this_image()
+            pair = (float(me % 3), me)  # max value 2.0 at images 2 and 5
+            out = yield from ctx.co_reduce(pair, op="maxloc")
+            return out
+
+        results = run_small(main, images=6, ipn=3).results
+        assert all(r == (2.0, 2) for r in results)  # tie → lower location
+
+    def test_unknown_op_rejected_on_all_images(self):
+        def main(ctx):
+            yield from ctx.co_reduce(1, op="median")
+
+        with pytest.raises(ProcessFailure, match="unknown reduce op"):
+            run_small(main, images=2)
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_on_subteam(self, strategy):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 3 else 2)
+            yield from ctx.change_team(team)
+            out = yield from ctx.co_sum(ctx.this_image())
+            yield from ctx.end_team()
+            return out
+
+        results = run_small(
+            main, images=6, ipn=3, config=reduce_config(strategy)
+        ).results
+        assert results == [6, 6, 6, 6, 6, 6]
+
+    @pytest.mark.parametrize("strategy", ALL_REDUCES)
+    def test_team_qualified_reduction(self, strategy):
+        """CAF 2.0-style team= argument without change_team."""
+
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me % 2 else 2)
+            out = yield from ctx.co_sum(me, team=team)
+            return out
+
+        results = run_small(
+            main, images=6, ipn=3, config=reduce_config(strategy)
+        ).results
+        assert results == [9, 12, 9, 12, 9, 12]
+
+
+class TestHypothesis:
+    @given(
+        strategy=st.sampled_from(ALL_REDUCES),
+        op=st.sampled_from(["sum", "max", "min"]),
+        values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                        min_size=1, max_size=13),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_team_size_matches_reference(self, strategy, op, values):
+        results = run_reduce(
+            strategy, images=len(values), ipn=4, values=values, op=op
+        )
+        expected = reference(values, op)
+        assert all(r == expected for r in results)
+
+    @given(
+        strategy=st.sampled_from(ALL_REDUCES),
+        n=st.integers(min_value=1, max_value=10),
+        ipn=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_array_sum_any_shape(self, strategy, n, ipn, seed):
+        rng = np.random.default_rng(seed)
+        values = [rng.integers(-50, 50, size=6) for _ in range(n)]
+        results = run_reduce(strategy, images=n, ipn=ipn, values=values)
+        expected = sum(values)
+        for r in results:
+            assert (np.asarray(r) == expected).all()
+
+
+class TestShape:
+    def _bench(self, config, images=16, ipn=8, nelems=1):
+        def main(ctx):
+            v = np.full(nelems, float(ctx.this_image()))
+            yield from ctx.co_sum(v)
+            t0 = ctx.now
+            for _ in range(4):
+                yield from ctx.co_sum(v)
+            return ctx.now - t0
+
+        return max(run_small(main, images=images, ipn=ipn, config=config).results)
+
+    def test_two_level_beats_linear_flat_with_colocated_images(self):
+        t2 = self._bench(UHCAF_2LEVEL)
+        t1 = self._bench(UHCAF_1LEVEL)
+        assert t1 > 10 * t2
+
+    def test_two_level_beats_binomial_flat(self):
+        t2 = self._bench(UHCAF_2LEVEL)
+        tb = self._bench(UHCAF_1LEVEL.with_(reduce="binomial-flat"))
+        assert tb > 2 * t2
+
+    def test_gap_grows_with_payload_contention(self):
+        small = self._bench(UHCAF_1LEVEL) / self._bench(UHCAF_2LEVEL)
+        # larger payloads shift the ratio toward bandwidth terms
+        big_flat = self._bench(UHCAF_1LEVEL, nelems=2048)
+        big_two = self._bench(UHCAF_2LEVEL, nelems=2048)
+        assert big_flat > big_two  # still wins, by a smaller factor
+        assert small > big_flat / big_two

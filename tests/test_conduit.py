@@ -1,0 +1,155 @@
+"""Unit tests for the conduit layer: path resolution, software overheads,
+per-node serialization, and the loopback penalty — the mechanisms behind
+the paper's hierarchy argument."""
+
+import pytest
+
+from repro.calibration import DIRECT_SMP, GASNET_RDMA, IB_VERBS, ConduitProfile
+from repro.machine import build_machine, paper_cluster
+from repro.runtime.conduit import Conduit
+from repro.sim import Engine, Process
+
+
+def make(profile=GASNET_RDMA, aware=False, images=8, ipn=4, nodes=4):
+    eng = Engine()
+    machine = build_machine(eng, paper_cluster(nodes), images, images_per_node=ipn)
+    return eng, Conduit(machine, profile, hierarchy_aware=aware)
+
+
+def drive(eng, gen):
+    Process(eng, gen)
+    eng.run()
+    return eng.now
+
+
+class TestPathResolution:
+    def test_cross_node_is_remote(self):
+        _, c = make()
+        assert c.resolve_path(0, 4) == "remote"
+
+    def test_same_node_unaware_is_loopback(self):
+        _, c = make(aware=False)
+        assert c.resolve_path(0, 1) == "loopback"
+
+    def test_same_node_aware_is_direct(self):
+        _, c = make(aware=True)
+        assert c.resolve_path(0, 1) == "direct"
+
+    def test_forced_direct_cross_node_rejected(self):
+        _, c = make()
+        with pytest.raises(ValueError, match="different nodes"):
+            c.resolve_path(0, 4, "direct")
+
+    def test_forced_remote_same_node_degrades_to_loopback(self):
+        _, c = make()
+        assert c.resolve_path(0, 1, "remote") == "loopback"
+
+    def test_forced_direct_same_node_allowed_even_unaware(self):
+        # TDLB forces direct for intranode phases regardless of the
+        # runtime's default awareness.
+        _, c = make(aware=False)
+        assert c.resolve_path(0, 1, "direct") == "direct"
+
+    def test_unknown_path_rejected(self):
+        _, c = make()
+        with pytest.raises(ValueError, match="unknown path"):
+            c.resolve_path(0, 1, "warp")
+
+
+class TestCosts:
+    def test_remote_charges_software_plus_injection(self):
+        eng, c = make(profile=IB_VERBS)
+        t = drive(eng, c.transfer(0, 4, 0))
+        net = c.machine.spec.network
+        assert t == pytest.approx(IB_VERBS.remote_overhead + net.inject_time(0))
+
+    def test_direct_is_much_cheaper_than_loopback(self):
+        eng1, c1 = make(aware=True)
+        t_direct = drive(eng1, c1.transfer(0, 1, 8))
+        eng2, c2 = make(aware=False)
+        t_loop = drive(eng2, c2.transfer(0, 1, 8))
+        assert t_loop > t_direct * 5
+
+    def test_loopback_penalty_delays_delivery(self):
+        eng, c = make(aware=False)
+        arrival = []
+
+        def proc():
+            yield from c.transfer(
+                0, 1, 8, on_delivered=lambda: arrival.append(eng.now)
+            )
+
+        Process(eng, proc())
+        eng.run()
+        node = c.machine.spec.node
+        base = (GASNET_RDMA.local_overhead + node.bus_hold
+                + 8 / (node.smp_bandwidth * GASNET_RDMA.loopback_bw_factor)
+                + node.intra_socket_latency)
+        assert arrival[0] == pytest.approx(base + GASNET_RDMA.loopback_penalty)
+
+    def test_serialized_overhead_queues_per_node(self):
+        eng, c = make(profile=GASNET_RDMA)
+        done = []
+
+        def proc():
+            yield from c.transfer(0, 4, 0)
+            done.append(eng.now)
+
+        # Two senders on the same node contend on the progress engine...
+        def proc2():
+            yield from c.transfer(1, 5, 0)
+            done.append(eng.now)
+
+        Process(eng, proc())
+        Process(eng, proc2())
+        eng.run()
+        assert done[1] - done[0] == pytest.approx(GASNET_RDMA.remote_overhead)
+
+    def test_unserialized_overhead_runs_in_parallel(self):
+        eng, c = make(profile=IB_VERBS)
+        done = []
+
+        def proc(src, dst):
+            yield from c.transfer(src, dst, 0)
+            done.append(eng.now)
+
+        Process(eng, proc(0, 4))
+        Process(eng, proc(1, 5))
+        eng.run()
+        # Both pay their own software overhead concurrently; the NIC gap
+        # is the only serialization.
+        net = c.machine.spec.network
+        assert done[0] == pytest.approx(IB_VERBS.remote_overhead + net.inject_time(0))
+        assert done[1] - done[0] == pytest.approx(net.inject_time(0))
+
+    def test_counters_by_path(self):
+        eng, c = make(aware=True)
+
+        def proc():
+            yield from c.transfer(0, 4, 8)   # remote
+            yield from c.transfer(0, 1, 8)   # direct (aware)
+            yield from c.transfer(0, 1, 8, path="loopback")
+
+        Process(eng, proc())
+        eng.run()
+        assert c.counts == {"remote": 1, "loopback": 1, "direct": 1}
+        c.reset_counters()
+        assert c.counts == {"remote": 0, "loopback": 0, "direct": 0}
+
+
+class TestProfiles:
+    def test_gasnet_local_path_pricier_than_remote(self):
+        """The paper's central observation: unaware same-node RMA through
+        GASNet costs *more* software than a genuine remote put."""
+        assert GASNET_RDMA.local_overhead > GASNET_RDMA.remote_overhead
+
+    def test_verbs_is_thin(self):
+        assert IB_VERBS.remote_overhead < GASNET_RDMA.remote_overhead / 2
+        assert not IB_VERBS.serialize_overhead
+
+    def test_direct_smp_is_near_free(self):
+        assert DIRECT_SMP.local_overhead < 0.1e-6
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            GASNET_RDMA.remote_overhead = 0.0

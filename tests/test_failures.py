@@ -1,0 +1,164 @@
+"""Failure injection: crashed images, divergent collectives, runaway
+programs — every failure must surface loudly and identifiably, never as
+a silent hang or a wrong answer."""
+
+import pytest
+
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+from repro.sim import DeadlockError, ProcessFailure, SimulationLimitExceeded
+from tests.conftest import run_small
+
+
+class TestCrashedImages:
+    def test_crash_names_the_failing_image(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+            if ctx.this_image() == 3:
+                raise RuntimeError("simulated segfault")
+            yield from ctx.sync_all()
+
+        with pytest.raises(ProcessFailure, match="image3") as exc:
+            run_small(main, images=4)
+        assert isinstance(exc.value.original, RuntimeError)
+
+    def test_crash_before_first_yield(self):
+        def main(ctx):
+            if ctx.this_image() == 1:
+                raise ValueError("died at startup")
+            yield from ctx.sync_all()
+
+        with pytest.raises(ProcessFailure, match="died at startup"):
+            run_small(main, images=2)
+
+    def test_crash_inside_collective_callback_chain(self):
+        """An exception raised mid-reduction must abort the run, not
+        deliver a partial result."""
+
+        def main(ctx):
+            def bad_op(a, b):
+                raise ArithmeticError("poisoned combine")
+
+            yield from ctx.co_reduce(1, op=bad_op)
+
+        with pytest.raises(ProcessFailure, match="poisoned combine"):
+            run_small(main, images=4)
+
+
+class TestDivergentCollectives:
+    def test_missing_barrier_participant_deadlocks(self):
+        def main(ctx):
+            if ctx.this_image() != 4:
+                yield from ctx.sync_all()
+            else:
+                yield from ctx.compute(seconds=1e-9)
+
+        with pytest.raises(DeadlockError):
+            run_small(main, images=4)
+
+    def test_deadlock_report_names_waiters(self):
+        def main(ctx):
+            if ctx.this_image() == 1:
+                yield from ctx.sync_all()
+            else:
+                yield from ctx.compute(seconds=1e-9)
+
+        with pytest.raises(DeadlockError) as exc:
+            run_small(main, images=3, ipn=3)
+        assert any("image1" in d for d in exc.value.blocked)
+
+    def test_mismatched_collective_kinds_deadlock(self):
+        """Half the team calls a reduction, half a broadcast — the
+        mailboxes never match and the run reports a deadlock instead of
+        crossing payloads."""
+
+        def main(ctx):
+            if ctx.this_image() % 2:
+                yield from ctx.co_sum(1)
+            else:
+                yield from ctx.co_broadcast(1, source_image=1)
+
+        with pytest.raises((DeadlockError, ProcessFailure)):
+            run_small(main, images=4)
+
+    def test_sync_images_without_partner_deadlocks(self):
+        def main(ctx):
+            if ctx.this_image() == 1:
+                yield from ctx.sync_images([2])
+            # image 2 never reciprocates
+
+        with pytest.raises(DeadlockError):
+            run_small(main, images=2)
+
+    def test_unreleased_lock_blocks_forever(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            if ctx.this_image() == 1:
+                yield from ctx.lock(lock, 1)
+                # never unlocks
+            else:
+                yield from ctx.lock(lock, 1)
+
+        # the contender spins on deterministic backoff forever; the
+        # engine's event ceiling turns the livelock into a loud failure
+        with pytest.raises((DeadlockError, SimulationLimitExceeded)):
+            run_small(main, images=2, max_events=200_000)
+
+
+class TestRunawayPrograms:
+    def test_event_ceiling_catches_infinite_loops(self):
+        def main(ctx):
+            while True:
+                yield from ctx.compute(seconds=1e-9)
+
+        with pytest.raises(SimulationLimitExceeded):
+            run_small(main, images=1, ipn=1, max_events=10_000)
+
+    def test_failed_image_does_not_corrupt_other_runs(self):
+        """A crashed run leaves no global state behind — the next run is
+        clean (regression guard for module-level leakage)."""
+
+        def bad(ctx):
+            yield from ctx.sync_all()
+            raise RuntimeError("boom")
+
+        def good(ctx):
+            total = yield from ctx.co_sum(1)
+            return total
+
+        with pytest.raises(ProcessFailure):
+            run_small(bad, images=4)
+        result = run_small(good, images=4)
+        assert result.results == [4, 4, 4, 4]
+
+
+class TestDegradedHardware:
+    def test_slow_interconnect_hurts_flat_more_than_tdlb(self):
+        """Failure-adjacent ablation: a degraded (10x latency) link
+        inflates every inter-node round; TDLB has ⌈log2 nodes⌉ of them
+        per barrier, flat dissemination ⌈log2 n⌉ — plus its loopback
+        costs stay, so the aware stack keeps its lead."""
+        from dataclasses import replace
+
+        from repro.machine import paper_cluster
+
+        def bench(config, spec):
+            def main(ctx):
+                yield from ctx.sync_all()
+                t0 = ctx.now
+                for _ in range(4):
+                    yield from ctx.sync_all()
+                return ctx.now - t0
+
+            from repro.runtime.program import run_spmd
+            return max(run_spmd(main, num_images=16, images_per_node=8,
+                                spec=spec, config=config).results)
+
+        healthy = paper_cluster(2)
+        degraded = replace(
+            healthy, network=replace(healthy.network, latency=20e-6)
+        )
+        t2_h = bench(UHCAF_2LEVEL, healthy)
+        t2_d = bench(UHCAF_2LEVEL, degraded)
+        t1_d = bench(UHCAF_1LEVEL, degraded)
+        assert t2_d > t2_h          # degradation is felt...
+        assert t1_d > 2 * t2_d      # ...but the aware stack keeps its lead

@@ -1,0 +1,149 @@
+"""Tests for cross-cutting runtime features: compute jitter, tracing,
+the tournament barrier, custom reduction operations."""
+
+import pytest
+
+from repro.runtime.config import GASNET_IB_DISSEMINATION, UHCAF_2LEVEL
+from tests.conftest import run_small
+
+
+class TestJitter:
+    CFG = UHCAF_2LEVEL.with_(compute_jitter=0.25)
+
+    @staticmethod
+    def _compute_main(ctx):
+        yield ctx.compute_cost(1e6)
+        return ctx.now
+
+    def test_default_is_noise_free(self):
+        times = run_small(self._compute_main, images=4).results
+        assert len(set(times)) == 1
+
+    def test_jitter_spreads_compute_times(self):
+        times = run_small(self._compute_main, images=4, config=self.CFG).results
+        assert len(set(times)) > 1
+
+    def test_jitter_bounded(self):
+        base = run_small(self._compute_main, images=4).results[0]
+        times = run_small(self._compute_main, images=4, config=self.CFG).results
+        assert all(base <= t <= base * 1.25 + 1e-12 for t in times)
+
+    def test_same_seed_reproduces_exactly(self):
+        a = run_small(self._compute_main, images=4, config=self.CFG,
+                      jitter_seed=9).results
+        b = run_small(self._compute_main, images=4, config=self.CFG,
+                      jitter_seed=9).results
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = run_small(self._compute_main, images=4, config=self.CFG,
+                      jitter_seed=1).results
+        b = run_small(self._compute_main, images=4, config=self.CFG,
+                      jitter_seed=2).results
+        assert a != b
+
+    def test_jittered_collectives_stay_correct(self):
+        def main(ctx):
+            yield ctx.compute_cost(1e5)
+            total = yield from ctx.co_sum(ctx.this_image())
+            return total
+
+        results = run_small(main, images=8, ipn=4, config=self.CFG).results
+        assert all(r == 36 for r in results)
+
+
+class TestTrace:
+    def test_trace_disabled_by_default(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+
+        assert run_small(main, images=2).trace is None
+
+    def test_trace_records_ops_in_time_order(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (2,))
+            yield from ctx.put(a, 2 if ctx.this_image() == 1 else 1, 1.0,
+                               index=0)
+            yield from ctx.sync_all()
+
+        result = run_small(main, images=2, trace=True)
+        trace = result.trace
+        assert trace, "trace should have records"
+        times = [t for t, *_ in trace]
+        assert times == sorted(times)
+        ops = {op for _, _, op, _ in trace}
+        assert "sync_all" in ops and "put" in ops
+
+    def test_trace_identifies_images(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+
+        trace = run_small(main, images=3, ipn=3, trace=True).trace
+        images = {img for _, img, _, _ in trace}
+        assert images == {1, 2, 3}
+
+
+class TestTournamentBarrier:
+    CFG = GASNET_IB_DISSEMINATION.with_(barrier="tournament")
+
+    def test_holds_everyone(self):
+        def main(ctx):
+            if ctx.this_image() == 3:
+                yield from ctx.compute(seconds=1e-3)
+            arrive = ctx.now
+            yield from ctx.sync_all()
+            return (arrive, ctx.now)
+
+        result = run_small(main, images=8, ipn=4, config=self.CFG)
+        last = max(a for a, _ in result.results)
+        assert all(t >= last for _, t in result.results)
+
+    def test_message_count_is_2n_minus_2(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+
+        n = 8
+        traffic = run_small(main, images=n, ipn=4, config=self.CFG).traffic
+        assert traffic.total_messages == 2 * (n - 1)
+
+    def test_repeated_invocations(self):
+        def main(ctx):
+            for _ in range(4):
+                yield from ctx.sync_all()
+            return True
+
+        assert all(run_small(main, images=6, ipn=3, config=self.CFG).results)
+
+    def test_non_power_of_two(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+            return True
+
+        assert all(run_small(main, images=7, ipn=4, config=self.CFG).results)
+
+
+class TestCustomReduceOp:
+    def test_callable_op(self):
+        def main(ctx):
+            out = yield from ctx.co_reduce(
+                ctx.this_image(), op=lambda a, b: a * b
+            )
+            return out
+
+        results = run_small(main, images=5, ipn=3).results
+        assert all(r == 120 for r in results)
+
+    @pytest.mark.parametrize(
+        "strategy", ["linear-flat", "binomial-flat", "recursive-doubling",
+                     "two-level"])
+    def test_callable_op_all_strategies(self, strategy):
+        def main(ctx):
+            out = yield from ctx.co_reduce(
+                {ctx.this_image()}, op=lambda a, b: a | b
+            )
+            return out
+
+        results = run_small(
+            main, images=6, ipn=3, config=UHCAF_2LEVEL.with_(reduce=strategy)
+        ).results
+        assert all(r == {1, 2, 3, 4, 5, 6} for r in results)

@@ -1,0 +1,146 @@
+"""Tests for the hierarchy metadata (intranode sets, leader election),
+including property-based checks of the structural invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Topology, block_placement, cyclic_placement, paper_cluster
+from repro.teams.hierarchy import LEADER_STRATEGIES, HierarchyInfo
+
+
+def build(num_images, ipn, members=None, strategy="lowest", formation_seq=0,
+          placement="block"):
+    nodes = max(-(-num_images // ipn), 1)
+    if placement == "block":
+        placements = block_placement(num_images, ipn)
+    else:
+        placements = cyclic_placement(num_images, nodes)
+    topo = Topology(paper_cluster(nodes), placements)
+    if members is None:
+        members = list(range(num_images))
+    return HierarchyInfo.build(topo, members, strategy=strategy,
+                               formation_seq=formation_seq)
+
+
+class TestStructure:
+    def test_flat_when_one_image_per_node(self):
+        h = build(4, ipn=1)
+        assert h.is_flat
+        assert h.leaders == [1, 2, 3, 4]
+
+    def test_not_flat_with_colocated_images(self):
+        assert not build(8, ipn=4).is_flat
+
+    def test_node_sets_partition_members(self):
+        h = build(16, ipn=8)
+        all_members = sorted(i for s in h.node_sets.values() for i in s)
+        assert all_members == list(range(1, 17))
+
+    def test_leader_per_node(self):
+        h = build(16, ipn=8)
+        assert len(h.leaders) == h.num_nodes_used == 2
+
+    def test_lowest_strategy_picks_first_index(self):
+        h = build(8, ipn=4, strategy="lowest")
+        assert h.leaders == [1, 5]
+
+    def test_highest_strategy_picks_last_index(self):
+        h = build(8, ipn=4, strategy="highest")
+        assert h.leaders == [4, 8]
+
+    def test_rotating_strategy_moves_with_formation_seq(self):
+        h0 = build(8, ipn=4, strategy="rotating", formation_seq=0)
+        h1 = build(8, ipn=4, strategy="rotating", formation_seq=1)
+        assert h0.leaders == [1, 5]
+        assert h1.leaders == [2, 6]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            build(4, ipn=2, strategy="coin-flip")
+
+    def test_slaves_of_excludes_leader(self):
+        h = build(8, ipn=4)
+        assert h.slaves_of(1) == [2, 3, 4]
+
+    def test_intranode_peers_includes_self(self):
+        h = build(8, ipn=4)
+        assert h.intranode_peers(3) == [1, 2, 3, 4]
+
+    def test_leader_rank_is_position_in_leaders(self):
+        h = build(24, ipn=8)
+        assert [h.leader_rank[l] for l in h.leaders] == [0, 1, 2]
+
+    def test_subset_team_hierarchy(self):
+        """A team of a strict subset of images still maps correctly."""
+        # members: global procs 1, 3, 4, 6 of an 8-image block layout
+        h = build(8, ipn=4, members=[1, 3, 4, 6])
+        # team indices 1,2 are procs 1,3 → node 0; 3,4 are procs 4,6 → node 1
+        assert h.node_sets == {0: [1, 2], 1: [3, 4]}
+        assert h.leaders == [1, 3]
+
+    def test_cyclic_placement_spreads_team(self):
+        h = build(8, ipn=2, placement="cyclic")
+        assert h.num_nodes_used == 4
+
+    def test_socket_sets_split_node(self):
+        h = build(8, ipn=8)  # one full node: cores 0-7, sockets of 4
+        sockets = h.socket_sets(0)
+        assert sockets == {0: [1, 2, 3, 4], 1: [5, 6, 7, 8]}
+
+    def test_max_images_per_node(self):
+        assert build(12, ipn=8).max_images_per_node == 8
+
+
+@st.composite
+def team_shapes(draw):
+    ipn = draw(st.integers(min_value=1, max_value=8))
+    nodes = draw(st.integers(min_value=1, max_value=6))
+    total = ipn * nodes
+    num_members = draw(st.integers(min_value=1, max_value=total))
+    members = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=total - 1),
+            min_size=num_members, max_size=num_members, unique=True,
+        )
+    )
+    strategy = draw(st.sampled_from(LEADER_STRATEGIES))
+    seq = draw(st.integers(min_value=0, max_value=5))
+    return total, ipn, members, strategy, seq
+
+
+class TestProperties:
+    @given(team_shapes())
+    @settings(max_examples=150, deadline=None)
+    def test_invariants(self, shape):
+        total, ipn, members, strategy, seq = shape
+        h = build(total, ipn, members=members, strategy=strategy,
+                  formation_seq=seq)
+        n = len(members)
+        indices = set(range(1, n + 1))
+        # node sets partition the indices
+        seen = [i for s in h.node_sets.values() for i in s]
+        assert sorted(seen) == sorted(indices)
+        # every member has a leader on its own node
+        for idx in indices:
+            leader = h.leader_of[idx]
+            assert h.node_of[leader] == h.node_of[idx]
+        # leaders: exactly one per used node, each its own leader
+        assert len(h.leaders) == len(h.node_sets)
+        for leader in h.leaders:
+            assert h.is_leader(leader)
+        # leader_rank is a bijection onto 0..len-1
+        assert sorted(h.leader_rank.values()) == list(range(len(h.leaders)))
+        # slaves + leader = intranode set
+        for leader in h.leaders:
+            assert sorted(h.slaves_of(leader) + [leader]) == (
+                h.node_sets[h.node_of[leader]]
+            )
+
+    @given(team_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_flat_iff_max_one_per_node(self, shape):
+        total, ipn, members, strategy, seq = shape
+        h = build(total, ipn, members=members, strategy=strategy,
+                  formation_seq=seq)
+        assert h.is_flat == (h.max_images_per_node == 1)

@@ -1,0 +1,215 @@
+"""HPL tests: block-cyclic maps, flop counts, and full verified runs."""
+
+import numpy as np
+import pytest
+
+from repro.hpl.costmodel import (
+    gemm_flops,
+    getrf_flops,
+    hpl_total_flops,
+    scale_flops,
+    trsm_flops,
+)
+from repro.hpl.driver import run_hpl
+from repro.hpl.grid import BlockCyclicGrid, grid_shape
+from repro.hpl.panel import _factor_diag_inplace, unpack_lu
+from repro.hpl.state import make_block
+from repro.runtime.config import (
+    CAF20_GFORTRAN,
+    CAF20_OPENUH,
+    UHCAF_1LEVEL,
+    UHCAF_2LEVEL,
+)
+
+
+class TestGridShape:
+    def test_perfect_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert grid_shape(8) == (2, 4)
+
+    def test_prime_degenerates_to_row(self):
+        assert grid_shape(7) == (1, 7)
+
+    def test_single(self):
+        assert grid_shape(1) == (1, 1)
+
+    def test_p_le_q(self):
+        for n in range(1, 65):
+            p, q = grid_shape(n)
+            assert p <= q and p * q == n
+
+
+class TestBlockCyclicGrid:
+    def g(self, index=1, n=256, nb=64, p=2, q=2):
+        return BlockCyclicGrid(n=n, nb=nb, p=p, q=q, index=index)
+
+    def test_grid_coords_row_major(self):
+        assert (self.g(1).my_row, self.g(1).my_col) == (0, 0)
+        assert (self.g(2).my_row, self.g(2).my_col) == (0, 1)
+        assert (self.g(3).my_row, self.g(3).my_col) == (1, 0)
+
+    def test_owner_cycles(self):
+        g = self.g()
+        assert g.owner_coords(0, 0) == (0, 0)
+        assert g.owner_coords(1, 0) == (1, 0)
+        assert g.owner_coords(2, 3) == (0, 1)
+
+    def test_owner_index_inverse_of_coords(self):
+        g = self.g()
+        for bi in range(g.nblocks):
+            for bj in range(g.nblocks):
+                owner = g.owner_index(bi, bj)
+                holder = BlockCyclicGrid(n=g.n, nb=g.nb, p=g.p, q=g.q,
+                                         index=owner)
+                assert holder.owns(bi, bj)
+
+    def test_every_block_owned_exactly_once(self):
+        grids = [self.g(i) for i in range(1, 5)]
+        counts = {}
+        for g in grids:
+            for blk in g.my_blocks():
+                counts[blk] = counts.get(blk, 0) + 1
+        assert all(c == 1 for c in counts.values())
+        assert len(counts) == grids[0].nblocks ** 2
+
+    def test_my_blocks_in_col(self):
+        g = self.g(1)  # row 0, col 0; nblocks=4
+        assert g.my_blocks_in_col(0) == [0, 2]
+        assert g.my_blocks_in_col(0, from_bi=1) == [2]
+        assert g.my_blocks_in_col(1) == []  # column 1 not mine
+
+    def test_my_blocks_in_row(self):
+        g = self.g(2)  # row 0, col 1
+        assert g.my_blocks_in_row(0) == [1, 3]
+        assert g.my_blocks_in_row(0, from_bj=2) == [3]
+        assert g.my_blocks_in_row(1) == []
+
+    def test_trailing_blocks_shrink(self):
+        g = self.g(4)  # row 1, col 1
+        assert set(g.trailing_blocks(0)) == {(1, 1), (1, 3), (3, 1), (3, 3)}
+        assert set(g.trailing_blocks(2)) == {(3, 3)}
+        assert set(g.trailing_blocks(3)) == set()
+
+    def test_nb_must_divide_n(self):
+        with pytest.raises(ValueError, match="divide"):
+            BlockCyclicGrid(n=100, nb=32, p=2, q=2, index=1)
+
+    def test_index_range_checked(self):
+        with pytest.raises(ValueError):
+            BlockCyclicGrid(n=128, nb=64, p=2, q=2, index=5)
+
+    def test_team_numbers_one_based(self):
+        assert self.g(1).row_team_number == 1
+        assert self.g(3).row_team_number == 2
+        assert self.g(2).col_team_number == 2
+
+
+class TestCostModel:
+    def test_getrf_square(self):
+        # n=m: mn² − n³/3 = (2/3)n³
+        assert getrf_flops(30, 30) == pytest.approx(2 / 3 * 30**3)
+
+    def test_trsm(self):
+        assert trsm_flops(4, 8) == 128
+
+    def test_gemm(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_scale_linear(self):
+        assert scale_flops(17) == 17
+
+    def test_hpl_total_dominated_by_cubic(self):
+        n = 4096
+        assert hpl_total_flops(n) == pytest.approx(2 / 3 * n**3, rel=1e-2)
+
+
+class TestLocalKernels:
+    def test_factor_diag_reproduces_block(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((16, 16)) + 16 * np.eye(16)
+        original = a.copy()
+        _factor_diag_inplace(a)
+        lower, upper = unpack_lu(a)
+        np.testing.assert_allclose(lower @ upper, original, rtol=1e-12)
+
+    def test_unpack_shapes(self):
+        packed = np.arange(9.0).reshape(3, 3)
+        lower, upper = unpack_lu(packed)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(lower, np.tril(lower))
+        assert np.allclose(upper, np.triu(upper))
+
+    def test_make_block_deterministic(self):
+        a = make_block(128, 32, 1, 2)
+        b = make_block(128, 32, 1, 2)
+        assert (a == b).all()
+
+    def test_make_block_diag_dominant_only_on_diagonal_blocks(self):
+        diag = make_block(128, 32, 1, 1)
+        off = make_block(128, 32, 1, 2)
+        assert abs(diag[0, 0]) > 64
+        assert abs(off).max() <= 0.5
+
+
+class TestVerifiedRuns:
+    @pytest.mark.parametrize("images,ipn,n,nb", [
+        (1, 1, 64, 32),
+        (2, 2, 128, 32),
+        (4, 2, 128, 32),
+        (4, 4, 192, 32),
+        (8, 4, 128, 32),
+        (16, 8, 256, 32),
+    ])
+    def test_residual_tiny(self, images, ipn, n, nb):
+        report = run_hpl(n=n, nb=nb, num_images=images, images_per_node=ipn,
+                         verify=True)
+        assert report.residual is not None
+        assert report.residual < 1e-12
+
+    @pytest.mark.parametrize("config", [
+        UHCAF_2LEVEL, UHCAF_1LEVEL, CAF20_OPENUH, CAF20_GFORTRAN,
+    ])
+    def test_all_stacks_compute_same_factorization(self, config):
+        report = run_hpl(n=128, nb=32, num_images=4, images_per_node=2,
+                         config=config, verify=True)
+        assert report.residual < 1e-12
+
+    def test_report_fields(self):
+        report = run_hpl(n=64, nb=32, num_images=2, images_per_node=2,
+                         verify=True)
+        assert report.n == 64 and report.nb == 32
+        assert (report.p, report.q) == (1, 2)
+        assert report.seconds > 0
+        assert report.gflops == pytest.approx(
+            hpl_total_flops(64) / report.seconds / 1e9
+        )
+
+    def test_seed_changes_matrix_not_correctness(self):
+        r1 = run_hpl(n=64, nb=32, num_images=2, images_per_node=2,
+                     verify=True, seed=1)
+        r2 = run_hpl(n=64, nb=32, num_images=2, images_per_node=2,
+                     verify=True, seed=2)
+        assert r1.residual < 1e-12 and r2.residual < 1e-12
+
+    def test_model_mode_times_match_verify_mode(self):
+        """Cost charging must be identical with and without real math."""
+        rv = run_hpl(n=128, nb=32, num_images=4, images_per_node=2, verify=True)
+        rm = run_hpl(n=128, nb=32, num_images=4, images_per_node=2, verify=False)
+        assert rm.seconds == pytest.approx(rv.seconds, rel=1e-9)
+
+    def test_two_level_not_slower_in_model_mode(self):
+        r2 = run_hpl(n=256, nb=32, num_images=16, images_per_node=8)
+        r1 = run_hpl(n=256, nb=32, num_images=16, images_per_node=8,
+                     config=UHCAF_1LEVEL)
+        assert r2.gflops > r1.gflops
+
+    def test_gfortran_backend_slower(self):
+        # Large enough that compute dominates, so the backend code-quality
+        # gap (the 80-vs-29.48 axis of Figure 1) is visible.
+        fast = run_hpl(n=512, nb=64, num_images=4, images_per_node=2,
+                       config=CAF20_OPENUH)
+        slow = run_hpl(n=512, nb=64, num_images=4, images_per_node=2,
+                       config=CAF20_GFORTRAN)
+        assert fast.gflops > 2 * slow.gflops

@@ -1,0 +1,75 @@
+"""End-to-end tests of leader-election strategies through the runtime
+config (the E7b axis, verified semantically rather than by latency)."""
+
+import pytest
+
+from repro.runtime.config import UHCAF_2LEVEL
+from tests.conftest import run_small
+
+ALL_STRATEGIES = ["lowest", "highest", "rotating"]
+
+
+def hierarchy_leaders(config, images=8, ipn=4):
+    def main(ctx):
+        yield from ctx.sync_all()
+        return tuple(ctx.current_team.shared.hierarchy.leaders)
+
+    return run_small(main, images=images, ipn=ipn, config=config).results[0]
+
+
+class TestStrategies:
+    def test_lowest_picks_first_on_each_node(self):
+        leaders = hierarchy_leaders(UHCAF_2LEVEL.with_(leader_strategy="lowest"))
+        assert leaders == (1, 5)
+
+    def test_highest_picks_last_on_each_node(self):
+        leaders = hierarchy_leaders(UHCAF_2LEVEL.with_(leader_strategy="highest"))
+        assert leaders == (4, 8)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_collectives_correct_under_any_strategy(self, strategy):
+        def main(ctx):
+            total = yield from ctx.co_sum(ctx.this_image())
+            value = yield from ctx.co_broadcast(
+                "x" if ctx.this_image() == 3 else None, source_image=3)
+            yield from ctx.sync_all()
+            return (total, value)
+
+        cfg = UHCAF_2LEVEL.with_(leader_strategy=strategy)
+        results = run_small(main, images=8, ipn=4, config=cfg).results
+        assert all(r == (36, "x") for r in results)
+
+    def test_rotating_moves_leaders_between_formations(self):
+        def main(ctx):
+            t1 = yield from ctx.form_team(1)
+            t2 = yield from ctx.form_team(1)
+            return (tuple(t1.shared.hierarchy.leaders),
+                    tuple(t2.shared.hierarchy.leaders))
+
+        cfg = UHCAF_2LEVEL.with_(leader_strategy="rotating")
+        first, second = run_small(main, images=8, ipn=4, config=cfg).results[0]
+        assert first != second
+
+    def test_unknown_strategy_rejected_at_launch(self):
+        from repro.sim import ProcessFailure
+
+        def main(ctx):
+            yield from ctx.sync_all()
+
+        with pytest.raises((ValueError, ProcessFailure)):
+            run_small(main, images=4,
+                      config=UHCAF_2LEVEL.with_(leader_strategy="dice"))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_tdlb_correct_with_every_strategy(self, strategy):
+        def main(ctx):
+            if ctx.this_image() == 2:
+                yield from ctx.compute(seconds=1e-4)
+            arrive = ctx.now
+            yield from ctx.sync_all()
+            return (arrive, ctx.now)
+
+        cfg = UHCAF_2LEVEL.with_(leader_strategy=strategy)
+        results = run_small(main, images=16, ipn=8, config=cfg).results
+        last = max(a for a, _ in results)
+        assert all(t >= last for _, t in results)

@@ -1,0 +1,124 @@
+"""Tests for F2008 lock variables: mutual exclusion, error conditions,
+fairness under contention."""
+
+import pytest
+
+from repro.sim import ProcessFailure
+from tests.conftest import run_small
+
+
+class TestMutualExclusion:
+    def test_protected_read_modify_write_is_exact(self):
+        """Without the lock, concurrent get+put would lose updates; with
+        it, n images each add 1 and the final count is exactly n."""
+
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            counter = yield from ctx.allocate("c", (1,))
+            yield from ctx.lock(lock, 1)
+            value = yield from ctx.get(counter, 1)
+            yield from ctx.compute(seconds=1e-6)  # widen the race window
+            yield from ctx.put(counter, 1, float(value[0]) + 1, index=0)
+            yield from ctx.unlock(lock, 1)
+            yield from ctx.sync_all()
+            return float(ctx.local(counter)[0]) if ctx.this_image() == 1 else None
+
+        result = run_small(main, images=8, ipn=4)
+        assert result.results[0] == 8.0
+
+    def test_unprotected_rmw_actually_loses_updates(self):
+        """Sanity: the race the lock prevents is real in this model."""
+
+        def main(ctx):
+            counter = yield from ctx.allocate("c", (1,))
+            yield from ctx.sync_all()
+            value = yield from ctx.get(counter, 1)
+            yield from ctx.put(counter, 1, float(value[0]) + 1, index=0)
+            yield from ctx.sync_all()
+            return float(ctx.local(counter)[0]) if ctx.this_image() == 1 else None
+
+        result = run_small(main, images=8, ipn=4)
+        assert result.results[0] < 8.0
+
+    def test_critical_sections_never_overlap(self):
+        """Record (enter, exit) windows; no two may intersect."""
+
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            yield from ctx.lock(lock, 1)
+            enter = ctx.now
+            yield from ctx.compute(seconds=2e-6)
+            exit_ = ctx.now
+            yield from ctx.unlock(lock, 1)
+            return (enter, exit_)
+
+        result = run_small(main, images=6, ipn=3)
+        windows = sorted(result.results)
+        for (_, exit_a), (enter_b, _) in zip(windows, windows[1:]):
+            assert enter_b >= exit_a
+
+    def test_all_images_eventually_acquire(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            for _ in range(3):
+                yield from ctx.lock(lock, 2)
+                yield from ctx.unlock(lock, 2)
+            return True
+
+        assert all(run_small(main, images=6, ipn=3).results)
+
+    def test_locks_on_different_images_are_independent(self):
+        """Two lock homes: holders of different homes overlap freely."""
+
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            me = ctx.this_image()
+            home = 1 if me <= 2 else 2
+            yield from ctx.lock(lock, home)
+            enter = ctx.now
+            yield from ctx.compute(seconds=5e-6)
+            yield from ctx.unlock(lock, home)
+            return (home, enter)
+
+        result = run_small(main, images=4, ipn=2)
+        # at least one pair with different homes overlapped in time
+        by_home = {}
+        for home, enter in result.results:
+            by_home.setdefault(home, []).append(enter)
+        assert min(by_home[2]) < max(by_home[1]) + 5e-6
+
+
+class TestErrorConditions:
+    def test_relock_while_holding_rejected(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            yield from ctx.lock(lock, 1)
+            yield from ctx.lock(lock, 1)
+
+        with pytest.raises(ProcessFailure, match="STAT_LOCKED"):
+            run_small(main, images=1, ipn=1)
+
+    def test_unlock_without_holding_rejected(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            yield from ctx.unlock(lock, 1)
+
+        with pytest.raises(ProcessFailure, match="STAT_UNLOCKED"):
+            run_small(main, images=1, ipn=1)
+
+    def test_holder_query(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            me = ctx.this_image()
+            if me == 2:
+                yield from ctx.lock(lock, 1)
+                holder_while_held = lock.holder(0)
+                yield from ctx.unlock(lock, 1)
+                yield from ctx.sync_images([1])
+                return holder_while_held
+            yield from ctx.sync_images([2])
+            return lock.holder(0)
+
+        result = run_small(main, images=2)
+        assert result.results[1] == 1   # proc 1 == image 2 held it
+        assert result.results[0] == -1  # free afterwards

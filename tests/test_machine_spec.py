@@ -1,0 +1,77 @@
+"""Unit tests for machine specifications."""
+
+import pytest
+
+from repro.machine import MachineSpec, NetworkSpec, NodeSpec, paper_cluster
+
+
+class TestNodeSpec:
+    def test_defaults_match_paper_node(self):
+        node = NodeSpec()
+        assert node.cores == 8
+        assert node.sockets == 2
+
+    def test_cores_per_socket(self):
+        assert NodeSpec(cores=8, sockets=2).cores_per_socket == 4
+
+    def test_socket_of_fills_socket_major(self):
+        node = NodeSpec(cores=8, sockets=2)
+        assert [node.socket_of(c) for c in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_socket_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            NodeSpec().socket_of(8)
+
+    def test_socket_of_negative(self):
+        with pytest.raises(ValueError):
+            NodeSpec().socket_of(-1)
+
+    def test_sockets_must_divide_cores(self):
+        with pytest.raises(ValueError, match="divide"):
+            NodeSpec(cores=6, sockets=4)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+
+    def test_intra_socket_cheaper_than_cross_socket(self):
+        node = NodeSpec()
+        assert node.intra_socket_latency < node.smp_latency
+
+
+class TestNetworkSpec:
+    def test_wire_time_is_latency_plus_serialization(self):
+        net = NetworkSpec(latency=2e-6, bandwidth=1e9)
+        assert net.wire_time(0) == 2e-6
+        assert net.wire_time(1000) == pytest.approx(2e-6 + 1e-6)
+
+    def test_inject_time_is_gap_plus_per_byte(self):
+        net = NetworkSpec(gap=0.4e-6, inject_cost_per_byte=1e-9)
+        assert net.inject_time(0) == 0.4e-6
+        assert net.inject_time(1000) == pytest.approx(0.4e-6 + 1e-6)
+
+    def test_defaults_are_infiniband_class(self):
+        net = NetworkSpec()
+        assert 1e-6 <= net.latency <= 5e-6
+        assert net.bandwidth >= 1e9
+
+
+class TestMachineSpec:
+    def test_paper_cluster_shape(self):
+        spec = paper_cluster()
+        assert spec.num_nodes == 44
+        assert spec.total_cores == 352
+
+    def test_with_nodes_changes_only_node_count(self):
+        spec = paper_cluster().with_nodes(8)
+        assert spec.num_nodes == 8
+        assert spec.node == paper_cluster().node
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(num_nodes=0, node=NodeSpec(), network=NetworkSpec())
+
+    def test_intranode_order_of_magnitude_cheaper_than_network(self):
+        """The calibration invariant the whole paper leans on."""
+        spec = paper_cluster()
+        assert spec.node.smp_latency * 5 < spec.network.latency

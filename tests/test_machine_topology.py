@@ -1,0 +1,119 @@
+"""Unit tests for placements and the topology map."""
+
+import pytest
+
+from repro.machine import (
+    Placement,
+    Topology,
+    block_placement,
+    cyclic_placement,
+    paper_cluster,
+)
+
+
+class TestBlockPlacement:
+    def test_fills_nodes_sequentially(self):
+        p = block_placement(6, images_per_node=2)
+        assert [(x.node, x.core) for x in p] == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+        ]
+
+    def test_partial_last_node(self):
+        p = block_placement(5, images_per_node=4)
+        assert p[4] == Placement(node=1, core=0)
+
+    def test_one_image_per_node(self):
+        p = block_placement(4, images_per_node=1)
+        assert [x.node for x in p] == [0, 1, 2, 3]
+        assert all(x.core == 0 for x in p)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            block_placement(0, 1)
+        with pytest.raises(ValueError):
+            block_placement(4, 0)
+
+
+class TestCyclicPlacement:
+    def test_round_robins_nodes(self):
+        p = cyclic_placement(6, num_nodes=3)
+        assert [x.node for x in p] == [0, 1, 2, 0, 1, 2]
+
+    def test_cores_advance_per_node(self):
+        p = cyclic_placement(6, num_nodes=3)
+        assert [x.core for x in p] == [0, 0, 0, 1, 1, 1]
+
+    def test_adjacent_images_never_colocated(self):
+        p = cyclic_placement(12, num_nodes=4)
+        for a, b in zip(p, p[1:]):
+            assert a.node != b.node
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cyclic_placement(0, 2)
+        with pytest.raises(ValueError):
+            cyclic_placement(4, 0)
+
+
+class TestTopology:
+    def _topo(self, images=8, ipn=4, nodes=4):
+        return Topology(paper_cluster(nodes), block_placement(images, ipn))
+
+    def test_num_images(self):
+        assert self._topo().num_images == 8
+
+    def test_node_and_core_queries(self):
+        topo = self._topo()
+        assert topo.node_of(0) == 0
+        assert topo.node_of(5) == 1
+        assert topo.core_of(5) == 1
+
+    def test_same_node(self):
+        topo = self._topo()
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+
+    def test_socket_queries(self):
+        topo = self._topo(images=8, ipn=8, nodes=1)
+        # paper node: 8 cores, 2 sockets → cores 0-3 socket 0, 4-7 socket 1
+        assert topo.socket_of(0) == 0
+        assert topo.socket_of(7) == 1
+        assert topo.same_socket(0, 3)
+        assert not topo.same_socket(3, 4)
+
+    def test_images_on_node(self):
+        topo = self._topo()
+        assert topo.images_on_node(1) == [4, 5, 6, 7]
+        assert topo.images_on_node(2) == []
+
+    def test_nodes_used(self):
+        assert self._topo().nodes_used() == [0, 1]
+
+    def test_intranode_sets_groups_by_node(self):
+        topo = self._topo()
+        groups = topo.intranode_sets([0, 1, 4, 6])
+        assert groups == {0: [0, 1], 1: [4, 6]}
+
+    def test_intranode_sets_sorted_members(self):
+        topo = self._topo()
+        groups = topo.intranode_sets([6, 4, 1, 0])
+        assert groups[1] == [4, 6]
+
+    def test_rejects_node_out_of_range(self):
+        with pytest.raises(ValueError, match="node"):
+            Topology(paper_cluster(1), [Placement(node=1, core=0)])
+
+    def test_rejects_core_out_of_range(self):
+        with pytest.raises(ValueError, match="core"):
+            Topology(paper_cluster(1), [Placement(node=0, core=8)])
+
+    def test_rejects_oversubscribed_core(self):
+        with pytest.raises(ValueError, match="occupied"):
+            Topology(
+                paper_cluster(1),
+                [Placement(node=0, core=0), Placement(node=0, core=0)],
+            )
+
+    def test_rejects_empty_placement(self):
+        with pytest.raises(ValueError):
+            Topology(paper_cluster(1), [])

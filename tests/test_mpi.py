@@ -1,0 +1,212 @@
+"""Tests for the miniature MPI baseline: point-to-point matching,
+communicator split, collectives across all three tunings."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mpi import MPI_TUNINGS, run_mpi
+from repro.machine import paper_cluster
+
+
+def run(main, ranks=4, ipn=2, tuning="openmpi", **kw):
+    nodes = max(-(-ranks // ipn), 1)
+    return run_mpi(main, num_ranks=ranks, images_per_node=ipn,
+                   spec=paper_cluster(nodes), tuning=tuning, **kw)
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self):
+        def main(ctx):
+            if ctx.rank() == 0:
+                yield from ctx.send({"k": [1, 2]}, dest=1, tag=5)
+                return None
+            return (yield from ctx.recv(0, tag=5))
+
+        assert run(main, ranks=2).results[1] == {"k": [1, 2]}
+
+    def test_tag_matching_out_of_order(self):
+        def main(ctx):
+            if ctx.rank() == 0:
+                yield from ctx.send("a", dest=1, tag=1)
+                yield from ctx.send("b", dest=1, tag=2)
+                return None
+            second = yield from ctx.recv(0, tag=2)
+            first = yield from ctx.recv(0, tag=1)
+            return (first, second)
+
+        assert run(main, ranks=2).results[1] == ("a", "b")
+
+    def test_any_source_wildcard(self):
+        def main(ctx):
+            me = ctx.rank()
+            if me != 0:
+                yield from ctx.send(me, dest=0, tag=9)
+                return None
+            got = set()
+            for _ in range(ctx.size() - 1):
+                got.add((yield from ctx.recv(None, tag=9)))
+            return got
+
+        assert run(main, ranks=4).results[0] == {1, 2, 3}
+
+    def test_any_tag_wildcard(self):
+        def main(ctx):
+            if ctx.rank() == 0:
+                yield from ctx.send("x", dest=1, tag=("weird", 3))
+                return None
+            return (yield from ctx.recv(0, tag=None))
+
+        assert run(main, ranks=2).results[1] == "x"
+
+    def test_fifo_between_same_pair_same_tag(self):
+        def main(ctx):
+            if ctx.rank() == 0:
+                for i in range(5):
+                    yield from ctx.send(i, dest=1, tag=0)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from ctx.recv(0, tag=0)))
+            return got
+
+        assert run(main, ranks=2).results[1] == [0, 1, 2, 3, 4]
+
+    def test_numpy_payload_frozen_at_send(self):
+        def main(ctx):
+            if ctx.rank() == 0:
+                buf = np.ones(4)
+                yield from ctx.send(buf, dest=1)
+                buf[:] = -1
+                return None
+            got = yield from ctx.recv(0)
+            return got.copy()
+
+        assert (run(main, ranks=2).results[1] == 1).all()
+
+    def test_sendrecv_exchange(self):
+        def main(ctx):
+            me = ctx.rank()
+            peer = 1 - me
+            got = yield from ctx.sendrecv(me * 10, peer, tag=3)
+            return got
+
+        assert run(main, ranks=2).results == [10, 0]
+
+    def test_same_node_cheaper_than_cross_node(self):
+        def main(ctx):
+            me = ctx.rank()
+            t0 = ctx.now
+            if me == 0:
+                yield from ctx.send(0, dest=1)   # same node (ipn=2)
+                yield from ctx.send(0, dest=2)   # different node
+                return None
+            elif me == 1:
+                yield from ctx.recv(0)
+                return ctx.now - t0
+            elif me == 2:
+                yield from ctx.recv(0)
+                return ctx.now - t0
+            return None
+
+        r = run(main, ranks=4, ipn=2)
+        assert r.results[1] < r.results[2]
+
+
+class TestCommunicators:
+    def test_split_by_parity(self):
+        def main(ctx):
+            me = ctx.rank()
+            sub = yield from ctx.split(color=me % 2, key=me)
+            return (ctx.rank(sub), ctx.size(sub))
+
+        results = run(main, ranks=6).results
+        assert results == [(0, 3), (0, 3), (1, 3), (1, 3), (2, 3), (2, 3)]
+
+    def test_split_key_reorders_ranks(self):
+        def main(ctx):
+            me = ctx.rank()
+            sub = yield from ctx.split(color=0, key=-me)
+            return ctx.rank(sub)
+
+        assert run(main, ranks=4).results == [3, 2, 1, 0]
+
+    def test_sub_communicator_isolated_from_world(self):
+        def main(ctx):
+            me = ctx.rank()
+            sub = yield from ctx.split(color=me % 2, key=me)
+            total = yield from ctx.allreduce(1, comm=sub)
+            world_total = yield from ctx.allreduce(1)
+            return (total, world_total)
+
+        results = run(main, ranks=6).results
+        assert all(r == (3, 6) for r in results)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("tuning", MPI_TUNINGS)
+    def test_barrier_holds_everyone(self, tuning):
+        def main(ctx):
+            if ctx.rank() == 0:
+                from repro.sim import Timeout
+                yield Timeout(1e-3)
+            arrive = ctx.now
+            yield from ctx.barrier()
+            return (arrive, ctx.now)
+
+        results = run(main, ranks=8, ipn=4, tuning=tuning).results
+        last = max(a for a, _ in results)
+        assert all(t >= last for _, t in results)
+
+    @pytest.mark.parametrize("tuning", MPI_TUNINGS)
+    @pytest.mark.parametrize("ranks", [1, 2, 5, 8])
+    def test_allreduce_sum(self, tuning, ranks):
+        def main(ctx):
+            return (yield from ctx.allreduce(ctx.rank() + 1))
+
+        results = run(main, ranks=ranks, tuning=tuning).results
+        assert all(r == ranks * (ranks + 1) // 2 for r in results)
+
+    @pytest.mark.parametrize("tuning", MPI_TUNINGS)
+    def test_allreduce_custom_op(self, tuning):
+        def main(ctx):
+            out = yield from ctx.allreduce(
+                ctx.rank() + 1, op=lambda a, b: max(a, b)
+            )
+            return out
+
+        assert all(r == 6 for r in run(main, ranks=6, tuning=tuning).results)
+
+    @pytest.mark.parametrize("tuning", MPI_TUNINGS)
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_bcast_from_any_root(self, tuning, root):
+        def main(ctx):
+            value = f"r{ctx.rank()}" if ctx.rank() == root else None
+            return (yield from ctx.bcast(value, root=root))
+
+        results = run(main, ranks=6, ipn=4, tuning=tuning).results
+        assert results == [f"r{root}"] * 6
+
+    @pytest.mark.parametrize("tuning", MPI_TUNINGS)
+    def test_bcast_array(self, tuning):
+        def main(ctx):
+            value = np.arange(10) if ctx.rank() == 0 else None
+            out = yield from ctx.bcast(value, root=0)
+            return (out == np.arange(10)).all()
+
+        assert all(run(main, ranks=5, tuning=tuning).results)
+
+    def test_hierarchical_barrier_beats_tree_with_colocated_ranks(self):
+        def body(ctx):
+            yield from ctx.barrier()
+            t0 = ctx.now
+            for _ in range(5):
+                yield from ctx.barrier()
+            return ctx.now - t0
+
+        t_tree = max(run(body, ranks=16, ipn=8, tuning="openmpi").results)
+        t_hier = max(run(body, ranks=16, ipn=8, tuning="openmpi-hierarch").results)
+        assert t_hier < t_tree
+
+    def test_unknown_tuning_rejected(self):
+        with pytest.raises(ValueError, match="tuning"):
+            run(lambda ctx: iter(()), ranks=2, tuning="magic")

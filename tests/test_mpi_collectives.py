@@ -1,0 +1,134 @@
+"""Tests for the rooted MPI collectives (reduce/gather/scatter/alltoall)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mpi import MPI_TUNINGS, run_mpi
+from repro.machine import paper_cluster
+from repro.sim import ProcessFailure
+
+
+def run(main, ranks=6, ipn=3, tuning="openmpi"):
+    nodes = max(-(-ranks // ipn), 1)
+    return run_mpi(main, num_ranks=ranks, images_per_node=ipn,
+                   spec=paper_cluster(nodes), tuning=tuning)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_only_root_gets_result(self, root):
+        def main(ctx):
+            return (yield from ctx.reduce(ctx.rank() + 1, root=root))
+
+        results = run(main).results
+        assert results[root] == 21
+        assert all(r is None for i, r in enumerate(results) if i != root)
+
+    def test_custom_op(self):
+        def main(ctx):
+            out = yield from ctx.reduce(ctx.rank(), op=max, root=0)
+            return out
+
+        assert run(main).results[0] == 5
+
+    def test_numpy_arrays(self):
+        def main(ctx):
+            out = yield from ctx.reduce(np.full(3, ctx.rank()),
+                                        op=lambda a, b: a + b, root=0)
+            return out
+
+        assert (run(main).results[0] == 15).all()
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("root", [0, 2, 5])
+    def test_gather_ordered_by_rank(self, root):
+        def main(ctx):
+            return (yield from ctx.gather(f"r{ctx.rank()}", root=root))
+
+        results = run(main).results
+        assert results[root] == [f"r{i}" for i in range(6)]
+
+    @pytest.mark.parametrize("root", [0, 2, 5])
+    def test_scatter_delivers_per_rank_element(self, root):
+        def main(ctx):
+            values = None
+            if ctx.rank() == root:
+                values = [r * 10 for r in range(ctx.size())]
+            return (yield from ctx.scatter(values, root=root))
+
+        assert run(main).results == [0, 10, 20, 30, 40, 50]
+
+    def test_scatter_wrong_length_rejected(self):
+        def main(ctx):
+            yield from ctx.scatter([1, 2], root=0)
+
+        with pytest.raises(ProcessFailure, match="exactly"):
+            run(main, ranks=3)
+
+    def test_gather_scatter_roundtrip(self):
+        def main(ctx):
+            gathered = yield from ctx.gather(ctx.rank() ** 2, root=0)
+            if ctx.rank() == 0:
+                gathered = [v + 1 for v in gathered]
+            back = yield from ctx.scatter(gathered, root=0)
+            return back
+
+        assert run(main).results == [r * r + 1 for r in range(6)]
+
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        root_seed=st.integers(min_value=0, max_value=100),
+        tuning=st.sampled_from(MPI_TUNINGS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gather_any_shape(self, n, root_seed, tuning):
+        root = root_seed % n
+
+        def main(ctx):
+            return (yield from ctx.gather(ctx.rank(), root=root))
+
+        results = run(main, ranks=n, tuning=tuning).results
+        assert results[root] == list(range(n))
+
+
+class TestAlltoall:
+    def test_personalized_exchange(self):
+        def main(ctx):
+            n = ctx.size()
+            out = yield from ctx.alltoall(
+                [(ctx.rank(), d) for d in range(n)])
+            return out
+
+        results = run(main).results
+        for me, out in enumerate(results):
+            assert out == [(s, me) for s in range(6)]
+
+    def test_wrong_length_rejected(self):
+        def main(ctx):
+            yield from ctx.alltoall([1])
+
+        with pytest.raises(ProcessFailure, match="alltoall"):
+            run(main, ranks=2)
+
+    def test_single_rank(self):
+        def main(ctx):
+            return (yield from ctx.alltoall(["self"]))
+
+        assert run(main, ranks=1, ipn=1).results == [["self"]]
+
+    def test_payloads_frozen(self):
+        def main(ctx):
+            n = ctx.size()
+            bufs = [np.full(2, float(ctx.rank())) for _ in range(n)]
+            out = yield from ctx.alltoall(bufs)
+            for b in bufs:
+                b[:] = -1
+            return [o.copy() for o in out]
+
+        results = run(main, ranks=3).results
+        for out in results:
+            for src, arr in enumerate(out):
+                assert (arr == src).all()

@@ -1,0 +1,66 @@
+"""Tests for the reproduction-report generator and its CLI."""
+
+import pytest
+
+from repro.report import Claim, render_report, run_report
+from repro.__main__ import main
+
+
+class TestClaim:
+    def test_in_band(self):
+        c = Claim("E1", "x", "p", "m", (1.0, 2.0), 1.5)
+        assert c.ok
+
+    def test_below_band(self):
+        assert not Claim("E1", "x", "p", "m", (1.0, 2.0), 0.5).ok
+
+    def test_above_band(self):
+        assert not Claim("E1", "x", "p", "m", (1.0, 2.0), 2.5).ok
+
+    def test_band_edges_inclusive(self):
+        assert Claim("E1", "x", "p", "m", (1.0, 2.0), 1.0).ok
+        assert Claim("E1", "x", "p", "m", (1.0, 2.0), 2.0).ok
+
+
+class TestRender:
+    def test_all_pass_message(self):
+        text = render_report([Claim("E1", "d", "p", "m", (0, 2), 1)])
+        assert "All claims within" in text
+        assert "✅" in text
+
+    def test_failures_flagged(self):
+        text = render_report([Claim("E9", "d", "p", "m", (0, 1), 5)])
+        assert "OUT OF BAND" in text
+        assert "1 claim(s) out of band" in text
+
+    def test_table_structure(self):
+        claims = [Claim("E1", "desc-a", "pap", "meas", (0, 2), 1),
+                  Claim("E2", "desc-b", "pap2", "meas2", (0, 2), 1)]
+        text = render_report(claims)
+        assert "| E1 | desc-a | pap | meas |" in text
+        assert "| E2 | desc-b |" in text
+
+
+class TestRunReport:
+    def test_quick_report_all_in_band(self):
+        claims = run_report(quick=True)
+        assert len(claims) >= 6
+        for c in claims:
+            assert c.ok, f"{c.experiment} {c.description}: {c.measured}"
+
+    def test_quick_report_covers_headlines(self):
+        claims = run_report(quick=True)
+        experiments = {c.experiment for c in claims}
+        assert experiments >= {"E1", "E2", "E3", "E4", "E5"}
+
+
+class TestReportCli:
+    def test_prints_report(self, capsys):
+        assert main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["--quick", "-o", str(path)]) == 0
+        assert "paper vs measured" in path.read_text()

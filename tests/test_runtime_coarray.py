@@ -1,0 +1,214 @@
+"""Tests for coarrays: allocation, cosubscripted puts/gets, memory model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.coarray import Coarray
+from tests.conftest import run_small
+
+
+class TestCoarrayObject:
+    def test_each_proc_gets_own_allocation(self):
+        ca = Coarray("a", (4,), np.float64, num_procs=3, fill=1.0)
+        ca.local(0)[0] = 99
+        assert ca.local(1)[0] == 1.0
+
+    def test_fill_value(self):
+        ca = Coarray("a", (2, 2), np.int64, num_procs=2, fill=7)
+        assert (ca.local(1) == 7).all()
+
+    def test_nbytes_full_array(self):
+        ca = Coarray("a", (10,), np.float64, num_procs=1)
+        assert ca.nbytes_of(None) == 80
+
+    def test_nbytes_of_slice(self):
+        ca = Coarray("a", (10,), np.float64, num_procs=1)
+        assert ca.nbytes_of(slice(0, 3)) == 24
+
+    def test_nbytes_of_scalar_index(self):
+        ca = Coarray("a", (10,), np.float64, num_procs=1)
+        assert ca.nbytes_of(0) == 8
+
+    def test_nbytes_of_2d_selection(self):
+        ca = Coarray("a", (4, 4), np.float64, num_procs=1)
+        assert ca.nbytes_of((slice(0, 2), slice(0, 2))) == 32
+
+    def test_read_returns_copy(self):
+        ca = Coarray("a", (4,), np.float64, num_procs=1)
+        out = ca.read(0)
+        out[0] = 42
+        assert ca.local(0)[0] == 0
+
+    def test_write_full_shape_mismatch_rejected(self):
+        ca = Coarray("a", (4,), np.float64, num_procs=1)
+        with pytest.raises(ValueError, match="shape"):
+            ca.write(0, np.zeros(3))
+
+    def test_write_scalar_broadcast_fills(self):
+        ca = Coarray("a", (4,), np.float64, num_procs=1)
+        ca.write(0, 5.0)
+        assert (ca.local(0) == 5.0).all()
+
+    def test_write_indexed(self):
+        ca = Coarray("a", (4,), np.float64, num_procs=1)
+        ca.write(0, 3.0, index=2)
+        assert ca.local(0)[2] == 3.0
+
+    def test_dtype_preserved(self):
+        ca = Coarray("a", (4,), np.int32, num_procs=1)
+        assert ca.local(0).dtype == np.int32
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            Coarray("a", (4,), np.float64, num_procs=0)
+
+
+class TestAllocation:
+    def test_allocate_returns_same_object_everywhere(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (4,))
+            return id(a)
+
+        result = run_small(main, images=4)
+        assert len(set(result.results)) == 1
+
+    def test_reallocate_same_shape_attaches(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (4,))
+            b = yield from ctx.allocate("a", (4,))
+            return a is b
+
+        assert all(run_small(main, images=2).results)
+
+    def test_reallocate_mismatched_shape_rejected(self):
+        def main(ctx):
+            yield from ctx.allocate("a", (4,))
+            yield from ctx.allocate("a", (5,))
+
+        from repro.sim import ProcessFailure
+        with pytest.raises(ProcessFailure, match="mismatched"):
+            run_small(main, images=2)
+
+    def test_same_name_different_teams_are_distinct(self):
+        def main(ctx):
+            a = yield from ctx.allocate("x", (2,))
+            team = yield from ctx.form_team(1 if ctx.this_image() <= 2 else 2)
+            yield from ctx.change_team(team)
+            b = yield from ctx.allocate("x", (2,))
+            yield from ctx.end_team()
+            return a is b
+
+        assert not any(run_small(main, images=4).results)
+
+    def test_allocation_implies_barrier(self):
+        """No image can touch the coarray before all have allocated —
+        verified by observing the sim time jump of the implicit sync."""
+
+        def main(ctx):
+            if ctx.this_image() == 1:
+                yield from ctx.compute(seconds=1e-3)  # late arriver
+            yield from ctx.allocate("a", (1,))
+            return ctx.now
+
+        result = run_small(main, images=4)
+        assert min(result.results) >= 1e-3
+
+
+class TestPutGet:
+    def test_put_lands_at_target(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (4,))
+            me = ctx.this_image()
+            if me == 1:
+                yield from ctx.put(a, 2, np.arange(4.0))
+            yield from ctx.sync_all()
+            return ctx.local(a).copy()
+
+        result = run_small(main, images=2)
+        assert (result.results[1] == np.arange(4.0)).all()
+        assert (result.results[0] == 0).all()
+
+    def test_put_with_index(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (4,))
+            if ctx.this_image() == 1:
+                yield from ctx.put(a, 2, 9.0, index=3)
+            yield from ctx.sync_all()
+            return ctx.local(a)[3]
+
+        assert run_small(main, images=2).results[1] == 9.0
+
+    def test_put_copies_source_buffer(self):
+        """Mutating the local buffer after a put must not change what the
+        target receives (the put snapshot semantics)."""
+
+        def main(ctx):
+            a = yield from ctx.allocate("a", (2,))
+            if ctx.this_image() == 1:
+                buf = np.array([1.0, 2.0])
+                yield from ctx.put(a, 2, buf)
+                buf[:] = -1
+            yield from ctx.sync_all()
+            return ctx.local(a).copy()
+
+        assert (run_small(main, images=2).results[1] == [1.0, 2.0]).all()
+
+    def test_get_remote_value(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (3,))
+            ctx.local(a)[:] = ctx.this_image()
+            yield from ctx.sync_all()
+            if ctx.this_image() == 1:
+                other = yield from ctx.get(a, 2)
+                return other.copy()
+            return None
+
+        assert (run_small(main, images=2).results[0] == 2).all()
+
+    def test_get_self_is_local_copy(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (2,))
+            ctx.local(a)[:] = 5
+            mine = yield from ctx.get(a, ctx.this_image())
+            return (mine == 5).all()
+
+        assert all(run_small(main, images=2).results)
+
+    def test_get_with_index(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (4,))
+            ctx.local(a)[:] = ctx.this_image() * 10
+            yield from ctx.sync_all()
+            value = yield from ctx.get(a, 2, index=1)
+            return float(value)
+
+        assert run_small(main, images=2).results[0] == 20.0
+
+    def test_put_costs_simulated_time(self):
+        def main(ctx):
+            a = yield from ctx.allocate("a", (1024,))
+            t0 = ctx.now
+            if ctx.this_image() == 1:
+                yield from ctx.put(a, 2, np.zeros(1024))
+            return ctx.now - t0
+
+        assert run_small(main, images=2).results[0] > 0
+
+    def test_put_team_relative_indexing(self):
+        """Image indices in put/get are relative to the current team."""
+
+        def main(ctx):
+            a = yield from ctx.allocate("a", (1,))
+            me = ctx.this_image()
+            color = 1 if me <= 2 else 2
+            team = yield from ctx.form_team(color)
+            yield from ctx.change_team(team)
+            if ctx.this_image() == 1:
+                # team-index 2 is a different global image in each team
+                yield from ctx.put(a, 2, float(color))
+            yield from ctx.sync_all()
+            yield from ctx.end_team()
+            return float(ctx.local(a)[0])
+
+        result = run_small(main, images=4)
+        assert result.results == [0.0, 1.0, 0.0, 2.0]

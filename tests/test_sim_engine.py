@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event engine: ordering, determinism,
+clock behaviour, limits, and deadlock reporting."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Engine,
+    SimulationLimitExceeded,
+)
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0.0
+
+    def test_single_event_advances_clock(self):
+        eng = Engine()
+        eng.schedule(1.5, lambda: None)
+        assert eng.run() == 1.5
+
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(2.0, lambda: fired.append("b"))
+        eng.schedule(1.0, lambda: fired.append("a"))
+        eng.schedule(3.0, lambda: fired.append("c"))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_insertion_order(self):
+        eng = Engine()
+        fired = []
+        for i in range(10):
+            eng.schedule(1.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == list(range(10))
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append("low"), priority=1)
+        eng.schedule(1.0, lambda: fired.append("high"), priority=0)
+        eng.run()
+        assert fired == ["high", "low"]
+
+    def test_nested_scheduling_from_callback(self):
+        eng = Engine()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            eng.schedule(1.0, lambda: fired.append("inner"))
+
+        eng.schedule(1.0, outer)
+        eng.run()
+        assert fired == ["outer", "inner"]
+        assert eng.now == 2.0
+
+    def test_call_now_runs_at_current_instant(self):
+        eng = Engine()
+        times = []
+        eng.schedule(5.0, lambda: eng.call_now(lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [5.0]
+
+    def test_zero_delay_is_legal(self):
+        eng = Engine()
+        eng.schedule(0.0, lambda: None)
+        assert eng.run() == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Engine().schedule(float("inf"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Engine().schedule(float("nan"), lambda: None)
+
+    def test_run_with_empty_queue_returns_current_time(self):
+        assert Engine().run() == 0.0
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(10.0, lambda: fired.append(10))
+        assert eng.run(until=5.0) == 5.0
+        assert fired == [1]
+
+    def test_run_until_can_resume(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        eng.run()
+        assert fired == [1, 10]
+
+    def test_step_returns_false_on_empty(self):
+        assert Engine().step() is False
+
+    def test_step_processes_one_event(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(2.0, lambda: fired.append(2))
+        assert eng.step() is True
+        assert fired == [1]
+
+    def test_determinism_across_runs(self):
+        def build():
+            eng = Engine()
+            order = []
+            for i in range(50):
+                eng.schedule((i * 7919 % 13) * 0.1, lambda i=i: order.append(i))
+            eng.run()
+            return order
+
+        assert build() == build()
+
+    def test_run_not_reentrant(self):
+        eng = Engine()
+
+        def recurse():
+            eng.run()
+
+        eng.schedule(1.0, recurse)
+        with pytest.raises(RuntimeError, match="reentrant"):
+            eng.run()
+
+
+class TestLimits:
+    def test_max_events_exceeded_raises(self):
+        eng = Engine(max_events=10)
+
+        def reschedule():
+            eng.schedule(1.0, reschedule)
+
+        eng.schedule(1.0, reschedule)
+        with pytest.raises(SimulationLimitExceeded):
+            eng.run()
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_reported_on_drain(self):
+        eng = Engine()
+        eng.note_blocked("proc A: waiting forever")
+        with pytest.raises(DeadlockError) as exc:
+            eng.run()
+        assert "proc A" in str(exc.value)
+
+    def test_unblocked_process_not_reported(self):
+        eng = Engine()
+        token = eng.note_blocked("transient")
+        eng.note_unblocked(token)
+        eng.run()  # no exception
+
+    def test_deadlock_lists_all_blocked(self):
+        eng = Engine()
+        for name in ("p1", "p2", "p3"):
+            eng.note_blocked(name)
+        with pytest.raises(DeadlockError) as exc:
+            eng.run()
+        assert exc.value.blocked == ["p1", "p2", "p3"]
+
+    def test_trace_hook_sees_labeled_events(self):
+        seen = []
+        eng = Engine(trace=lambda t, label: seen.append((t, label)))
+        eng.schedule(1.0, lambda: None, label="tick")
+        eng.schedule(2.0, lambda: None)  # unlabeled: not traced
+        eng.run()
+        assert seen == [(1.0, "tick")]

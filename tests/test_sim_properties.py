@@ -1,0 +1,134 @@
+"""Property-based tests of the simulation kernel's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Cell, Engine, Hold, Process, Resource, Timeout, WaitFor
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1e3,
+                                     allow_nan=False), min_size=1,
+                           max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(d, lambda d=d: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=10,
+                                     allow_nan=False), min_size=1,
+                           max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_final_time_is_max_delay(self, delays):
+        eng = Engine()
+        for d in delays:
+            eng.schedule(d, lambda: None)
+        assert eng.run() == max(delays)
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_schedules_identical_traces(self, seed):
+        import random
+
+        def build():
+            rng = random.Random(seed)
+            eng = Engine()
+            order = []
+            for i in range(40):
+                eng.schedule(rng.random(), lambda i=i: order.append(i))
+            eng.run()
+            return order
+
+        assert build() == build()
+
+
+class TestResourceProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=4),
+        holds=st.lists(st.floats(min_value=1e-6, max_value=1.0,
+                                 allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded_and_all_complete(self, capacity, holds):
+        eng = Engine()
+        res = Resource(eng, capacity=capacity)
+        active = [0]
+        peak = [0]
+        completed = []
+
+        def holder(duration):
+            yield Hold(res, duration)
+            completed.append(duration)
+
+        # monitor via wrapping: sample in_use after every event by piggy-
+        # backing on the resource's own accounting
+        for d in holds:
+            Process(eng, holder(d))
+        eng.run()
+        assert len(completed) == len(holds)
+        assert res.in_use == 0
+        assert res.total_grants == len(holds)
+
+    @given(holds=st.lists(st.floats(min_value=0.1, max_value=1.0,
+                                    allow_nan=False), min_size=2,
+                          max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_one_serializes_total_time(self, holds):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+
+        def holder(duration):
+            yield Hold(res, duration)
+
+        for d in holds:
+            Process(eng, holder(d))
+        final = eng.run()
+        assert abs(final - sum(holds)) < 1e-9
+
+
+class TestCellProperties:
+    @given(
+        writes=st.lists(st.integers(min_value=-100, max_value=100),
+                        min_size=1, max_size=30),
+        threshold=st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_watcher_fires_at_first_satisfying_write(self, writes, threshold):
+        eng = Engine()
+        cell = Cell(eng, -1000)
+        seen = []
+        cell.wait_until(lambda v: v >= threshold, seen.append)
+        for i, w in enumerate(writes):
+            cell.set(w)
+        satisfying = [w for w in writes if w >= threshold]
+        if satisfying:
+            assert seen == [satisfying[0]]
+        else:
+            assert seen == []
+
+    @given(increments=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_waitfor_process_wakes_exactly_at_threshold(self, increments):
+        eng = Engine()
+        cell = Cell(eng, 0)
+        woken_at = []
+
+        def waiter():
+            value = yield WaitFor(cell, lambda v: v >= increments)
+            woken_at.append(value)
+
+        def writer():
+            for _ in range(increments):
+                yield Timeout(1.0)
+                cell.add(1)
+
+        Process(eng, waiter())
+        Process(eng, writer())
+        eng.run()
+        assert woken_at == [increments]
+        assert eng.now == increments

@@ -1,0 +1,243 @@
+"""Tests for team formation, change/end team, nesting, and intrinsics."""
+
+import pytest
+
+from repro.sim import ProcessFailure
+from repro.teams.formation import _partition
+from repro.teams.intrinsics import (
+    get_team,
+    image_index,
+    num_images,
+    team_id,
+    this_image,
+)
+from tests.conftest import run_small
+
+
+class TestPartition:
+    def test_groups_by_number(self):
+        records = [(1, 10, None), (2, 20, None), (3, 10, None)]
+        assert _partition(records) == {10: [1, 3], 20: [2]}
+
+    def test_default_order_is_parent_index(self):
+        records = [(3, 1, None), (1, 1, None), (2, 1, None)]
+        assert _partition(records) == {1: [1, 2, 3]}
+
+    def test_new_index_orders_members(self):
+        records = [(1, 1, 2), (2, 1, 1)]
+        assert _partition(records) == {1: [2, 1]}
+
+    def test_mixed_new_index_rejected(self):
+        with pytest.raises(ValueError, match="all or none"):
+            _partition([(1, 1, 1), (2, 1, None)])
+
+    def test_new_index_must_be_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            _partition([(1, 1, 1), (2, 1, 3)])
+
+    def test_duplicate_new_index_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            _partition([(1, 1, 1), (2, 1, 1)])
+
+
+class TestFormTeam:
+    def test_split_into_halves(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            return (team.team_number, team.size, team.index)
+
+        result = run_small(main, images=4)
+        assert result.results == [(1, 2, 1), (1, 2, 2), (2, 2, 1), (2, 2, 2)]
+
+    def test_new_index_respected(self):
+        def main(ctx):
+            me = ctx.this_image()
+            n = ctx.num_images()
+            # reverse the order within the single new team
+            team = yield from ctx.form_team(1, new_index=n - me + 1)
+            return team.index
+
+        assert run_small(main, images=4).results == [4, 3, 2, 1]
+
+    def test_singleton_teams(self):
+        def main(ctx):
+            team = yield from ctx.form_team(ctx.this_image())
+            return (team.size, team.index)
+
+        assert run_small(main, images=3).results == [(1, 1)] * 3
+
+    def test_negative_team_number_rejected(self):
+        def main(ctx):
+            yield from ctx.form_team(-2)
+
+        with pytest.raises(ProcessFailure, match="team_number"):
+            run_small(main, images=2)
+
+    def test_members_share_one_team_shared(self):
+        def main(ctx):
+            team = yield from ctx.form_team(1)
+            return id(team.shared)
+
+        assert len(set(run_small(main, images=4).results)) == 1
+
+    def test_different_numbers_get_distinct_shareds(self):
+        def main(ctx):
+            team = yield from ctx.form_team(ctx.this_image() % 2 + 1)
+            return (team.team_number, id(team.shared))
+
+        result = run_small(main, images=4).results
+        ids = {num: sid for num, sid in result}
+        assert len(ids) == 2
+
+    def test_formation_costs_time(self):
+        def main(ctx):
+            t0 = ctx.now
+            yield from ctx.form_team(1)
+            return ctx.now - t0
+
+        assert all(t > 0 for t in run_small(main, images=4).results)
+
+    def test_successive_formations_are_independent(self):
+        def main(ctx):
+            me = ctx.this_image()
+            rows = yield from ctx.form_team(1 if me <= 2 else 2)
+            cols = yield from ctx.form_team(1 if me % 2 else 2)
+            return (rows.shared.uid != cols.shared.uid,
+                    rows.size, cols.size)
+
+        result = run_small(main, images=4)
+        assert all(r[0] for r in result.results)
+        assert all(r[1] == 2 and r[2] == 2 for r in result.results)
+
+
+class TestChangeEndTeam:
+    def test_change_team_updates_current(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            yield from ctx.change_team(team)
+            inside = (ctx.this_image(), ctx.num_images(), ctx.team_id())
+            yield from ctx.end_team()
+            outside = (ctx.this_image(), ctx.num_images(), ctx.team_id())
+            return (inside, outside)
+
+        result = run_small(main, images=4)
+        assert result.results[2] == ((1, 2, 2), (3, 4, -1))
+
+    def test_nested_teams(self):
+        def main(ctx):
+            me = ctx.this_image()
+            outer = yield from ctx.form_team(1 if me <= 4 else 2)
+            yield from ctx.change_team(outer)
+            inner = yield from ctx.form_team(1 if ctx.this_image() <= 2 else 2)
+            yield from ctx.change_team(inner)
+            depth_info = (ctx.num_images(), ctx.get_team("parent").size)
+            yield from ctx.end_team()
+            yield from ctx.end_team()
+            return depth_info
+
+        result = run_small(main, images=8, ipn=4)
+        assert all(r == (2, 4) for r in result.results)
+
+    def test_end_team_without_change_rejected(self):
+        def main(ctx):
+            yield from ctx.end_team()
+
+        with pytest.raises(ProcessFailure, match="end_team"):
+            run_small(main, images=2)
+
+    def test_change_team_not_formed_from_current_rejected(self):
+        def main(ctx):
+            a = yield from ctx.form_team(1)
+            b = yield from ctx.form_team(1)
+            yield from ctx.change_team(a)
+            # b was formed from the initial team, not from a
+            yield from ctx.change_team(b)
+
+        with pytest.raises(ProcessFailure, match="not formed"):
+            run_small(main, images=2)
+
+    def test_change_team_synchronizes_members(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1)
+            if me == 1:
+                yield from ctx.compute(seconds=1e-3)
+            yield from ctx.change_team(team)
+            t = ctx.now
+            yield from ctx.end_team()
+            return t
+
+        result = run_small(main, images=4)
+        assert min(result.results) >= 1e-3
+
+
+class TestIntrinsics:
+    def test_initial_team_identity(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+            initial = ctx.get_team("initial")
+            current = ctx.get_team("current")
+            parent = ctx.get_team("parent")
+            return (initial is current, parent is initial, ctx.team_id())
+
+        assert run_small(main, images=2).results == [(True, True, -1)] * 2
+
+    def test_get_team_parent_inside_subteam(self):
+        def main(ctx):
+            team = yield from ctx.form_team(1)
+            yield from ctx.change_team(team)
+            parent_size = ctx.get_team("parent").size
+            yield from ctx.end_team()
+            return parent_size
+
+        assert run_small(main, images=3).results == [3, 3, 3]
+
+    def test_unknown_level_rejected(self):
+        def main(ctx):
+            ctx.get_team("grandparent")
+            yield from ctx.sync_all()
+
+        with pytest.raises(ProcessFailure, match="team level"):
+            run_small(main, images=1, ipn=1)
+
+    def test_image_index_and_global_image_roundtrip(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            yield from ctx.change_team(team)
+            idx_of_first = ctx.image_index(ctx.current_team, 3)
+            mine_globally = ctx.global_image()
+            yield from ctx.end_team()
+            return (idx_of_first, mine_globally)
+
+        result = run_small(main, images=4)
+        # initial image 3 is index 1 of team 2, not a member of team 1
+        assert result.results[0] == (0, 1)
+        assert result.results[2] == (1, 3)
+
+    def test_free_function_forms_match_methods(self):
+        def main(ctx):
+            team = yield from ctx.form_team(1)
+            yield from ctx.change_team(team)
+            ok = (
+                this_image(ctx) == ctx.this_image()
+                and num_images(ctx) == ctx.num_images()
+                and team_id(ctx) == ctx.team_id()
+                and get_team(ctx) is ctx.current_team
+                and image_index(ctx, ctx.current_team, 1) == 1
+            )
+            yield from ctx.end_team()
+            return ok
+
+        assert all(run_small(main, images=2).results)
+
+    def test_this_image_with_explicit_team(self):
+        def main(ctx):
+            me = ctx.this_image()
+            team = yield from ctx.form_team(1 if me <= 2 else 2)
+            # query without changing into it
+            return ctx.this_image(team)
+
+        assert run_small(main, images=4).results == [1, 2, 1, 2]
