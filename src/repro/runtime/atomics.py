@@ -47,7 +47,8 @@ class AtomicVar:
         self.name = name
         engine = conduit.machine.engine
         self._cells = [
-            Cell(engine, initial, name=f"{name}[{p}]")
+            Cell(engine, initial, name=f"{name}[{p}]",
+                 meta={"kind": "atomic", "var": name, "proc": p})
             for p in range(conduit.machine.num_images)
         ]
 
@@ -82,7 +83,7 @@ class AtomicVar:
         cell = self._cells[dst_proc]
 
         def apply() -> None:
-            cell.set(fn(cell.value, value))
+            cell.update(lambda old: fn(old, value))
 
         yield from self._conduit.transfer(
             src_proc, dst_proc, ATOMIC_NBYTES, on_delivered=apply, path=path
@@ -124,7 +125,7 @@ class AtomicVar:
         def apply() -> None:
             old = cell.value
             fetched.append(old)
-            cell.set(fn(old, value))
+            cell.update(lambda _old: fn(_old, value))
 
         yield from self._conduit.transfer(
             src_proc, dst_proc, ATOMIC_NBYTES, on_delivered=apply, path=path
@@ -156,7 +157,7 @@ class AtomicVar:
             old = cell.value
             fetched.append(old)
             if old == expected:
-                cell.set(desired)
+                cell.update(lambda _old: desired)
 
         yield from self._conduit.transfer(
             src_proc, dst_proc, ATOMIC_NBYTES, on_delivered=apply, path=path

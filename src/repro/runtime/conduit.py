@@ -61,6 +61,20 @@ class Conduit:
         for key in self.counts:
             self.counts[key] = 0
 
+    def _monitored_delivery(
+        self,
+        src_image: int,
+        dst_image: int,
+        on_delivered: Optional[Callable[[], None]],
+    ) -> Optional[Callable[[], None]]:
+        """Tell the concurrency monitor (when installed) about this message
+        and wrap the delivery callback so target-side effects are
+        attributed to the sender's causal past."""
+        monitor = self.machine.engine.monitor
+        if monitor is None:
+            return on_delivered
+        return monitor.on_transfer(src_image, dst_image, on_delivered)
+
     # ------------------------------------------------------------------
     def _overhead(self, node: int, cost: float) -> Iterator:
         """Charge sender software time, serialized per node if the profile says so."""
@@ -111,6 +125,7 @@ class Conduit:
         """
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
+        on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
         src_node = self.machine.node_of(src_image)
 
         if resolved == "remote":
@@ -165,6 +180,7 @@ class Conduit:
         """
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
+        on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
         src_node = self.machine.node_of(src_image)
 
         if resolved == "remote":

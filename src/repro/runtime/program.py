@@ -613,6 +613,8 @@ def run_spmd(
     max_events: Optional[int] = None,
     trace: bool = False,
     jitter_seed: int = 0,
+    tiebreak_seed: Optional[int] = None,
+    monitor: Optional[Any] = None,
 ) -> SpmdResult:
     """Run ``main(ctx, *args)`` as an SPMD program on a simulated cluster.
 
@@ -622,6 +624,12 @@ def run_spmd(
     records every logged runtime operation on ``result.trace``;
     ``jitter_seed`` selects the OS-noise stream when the config enables
     ``compute_jitter``.
+
+    ``tiebreak_seed`` fuzzes the engine's same-instant event order (see
+    :mod:`repro.verify`): ``None`` keeps the historical insertion-order
+    schedule.  ``monitor`` installs a concurrency monitor (e.g.
+    :class:`repro.verify.HBMonitor`) on the engine for the duration of
+    the run.
     """
     if machine is None:
         if num_images is None:
@@ -630,20 +638,34 @@ def run_spmd(
             ipn = images_per_node or 1
             needed = -(-num_images // ipn)
             spec = paper_cluster(max(needed, 1))
-        engine = Engine() if max_events is None else Engine(max_events=max_events)
+        engine_kwargs: dict = {}
+        if max_events is not None:
+            engine_kwargs["max_events"] = max_events
+        if tiebreak_seed is not None:
+            engine_kwargs["tiebreak_seed"] = tiebreak_seed
+        engine = Engine(**engine_kwargs)
         machine = build_machine(
             engine, spec, num_images,
             images_per_node=images_per_node, placements=placements,
         )
     else:
         engine = machine.engine
+        if tiebreak_seed is not None and engine.tiebreak_seed != tiebreak_seed:
+            raise ValueError(
+                "tiebreak_seed must be passed to the prebuilt machine's "
+                "Engine, not to run_spmd"
+            )
+
+    if monitor is not None:
+        monitor.attach(machine.num_images)
+        engine.monitor = monitor
 
     world = World(machine, config, jitter_seed=jitter_seed, trace=trace)
     processes = []
     for proc in range(machine.num_images):
         ctx = CafContext(world, proc)
         gen = main(ctx, *args)
-        processes.append(Process(engine, gen, name=f"image{proc + 1}"))
+        processes.append(Process(engine, gen, name=f"image{proc + 1}", actor=proc))
     final_time = engine.run()
     return SpmdResult(
         time=final_time,

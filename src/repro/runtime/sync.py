@@ -34,7 +34,12 @@ class PairwiseSync:
         key = (notifier_proc, waiter_proc)
         c = self._cells.get(key)
         if c is None:
-            c = Cell(self._engine, 0, name=f"syncimg[{notifier_proc}->{waiter_proc}]")
+            c = Cell(
+                self._engine, 0,
+                name=f"syncimg[{notifier_proc}->{waiter_proc}]",
+                meta={"kind": "syncimg", "notifier": notifier_proc,
+                      "waiter": waiter_proc},
+            )
             self._cells[key] = c
         return c
 

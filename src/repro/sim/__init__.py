@@ -14,10 +14,20 @@ from .errors import (
     SimulationLimitExceeded,
 )
 from .primitives import Cell, Resource, SimEvent
-from .process import Acquire, Hold, ProcGen, Process, Timeout, Wait, WaitFor
+from .process import (
+    Acquire,
+    BlockedInfo,
+    Hold,
+    ProcGen,
+    Process,
+    Timeout,
+    Wait,
+    WaitFor,
+)
 
 __all__ = [
     "Engine",
+    "BlockedInfo",
     "SimEvent",
     "Cell",
     "Resource",

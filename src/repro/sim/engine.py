@@ -10,6 +10,16 @@ of the same benchmark disagree — so events are ordered by
 ``(time, priority, sequence)`` where ``sequence`` is a monotonically
 increasing insertion counter. Two events at the same instant always fire
 in the order they were scheduled.
+
+Schedule fuzzing (``repro.verify``) relaxes exactly that last rule: with
+a ``tiebreak_seed`` the engine permutes events that share a
+``(time, priority)`` slot — still fully deterministically per seed.
+Events at the same instant are causally concurrent (anything that *must*
+happen later is scheduled later, or at a later time), so every such
+permutation is a legal interleaving of the simulated program; a program
+whose *semantic* result changes under a different seed has a real
+ordering bug.  With no seed (the default) the insertion-order policy is
+byte-identical to the historical behaviour.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import random
 from typing import Any, Callable, Optional
 
 from .errors import DeadlockError, SimulationLimitExceeded
@@ -39,22 +50,37 @@ class Engine:
     trace:
         Optional callable invoked as ``trace(time, label)`` for every
         event that carries a label; useful in tests that assert ordering.
+    tiebreak_seed:
+        When given, events sharing a ``(time, priority)`` slot fire in a
+        seed-determined pseudo-random order instead of insertion order.
+        Used by :mod:`repro.verify` to fuzz legal interleavings; leave
+        ``None`` (the default) for the historical insertion-order policy.
     """
 
     def __init__(
         self,
         max_events: int = DEFAULT_MAX_EVENTS,
         trace: Optional[Callable[[float, str], None]] = None,
+        tiebreak_seed: Optional[int] = None,
     ):
-        self._heap: list[tuple[float, int, int, Callable[[], None], str]] = []
+        self._heap: list[tuple[float, int, float, int, Callable[[], None], str]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._max_events = int(max_events)
         self._events_processed = 0
         self._trace = trace
+        self._tiebreak_seed = tiebreak_seed
+        self._tiebreak_rng = (
+            random.Random(tiebreak_seed) if tiebreak_seed is not None else None
+        )
+        #: optional concurrency monitor (duck-typed; see
+        #: :class:`repro.verify.HBMonitor`).  The sim primitives consult it
+        #: on every write/wait when set; ``None`` costs one attribute read.
+        self.monitor: Optional[Any] = None
         # Registry of blocked-process descriptions for deadlock reporting.
         # Keyed by an opaque token so waiters can deregister in O(1).
         self._blocked: dict[int, str] = {}
+        self._blocked_info: dict[int, Any] = {}
         self._blocked_seq = itertools.count()
         self._running = False
 
@@ -71,6 +97,11 @@ class Engine:
         """Number of events the run loop has dispatched so far."""
         return self._events_processed
 
+    @property
+    def tiebreak_seed(self) -> Optional[int]:
+        """The schedule-fuzzing seed, or ``None`` for insertion order."""
+        return self._tiebreak_seed
+
     def schedule(
         self,
         delay: float,
@@ -82,12 +113,15 @@ class Engine:
 
         ``delay`` must be finite and non-negative: simulated causality only
         flows forward.  ``priority`` breaks ties at equal timestamps (lower
-        fires first), and insertion order breaks remaining ties.
+        fires first), and insertion order breaks remaining ties — unless a
+        ``tiebreak_seed`` permutes same-slot events (see the module doc).
         """
         if delay < 0 or not math.isfinite(delay):
             raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        jitter = 0.0 if self._tiebreak_rng is None else self._tiebreak_rng.random()
         heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), fn, label)
+            self._heap,
+            (self._now + delay, priority, jitter, next(self._seq), fn, label),
         )
 
     def call_now(self, fn: Callable[[], None], label: str = "") -> None:
@@ -97,20 +131,34 @@ class Engine:
     # ------------------------------------------------------------------
     # Blocked-process bookkeeping (for deadlock diagnostics)
     # ------------------------------------------------------------------
-    def note_blocked(self, description: str) -> int:
-        """Record that a process is blocked; returns a token for :meth:`note_unblocked`."""
+    def note_blocked(self, description: str, info: Any = None) -> int:
+        """Record that a process is blocked; returns a token for :meth:`note_unblocked`.
+
+        ``info`` may carry a structured record (see
+        :class:`repro.sim.process.BlockedInfo`) that deadlock reports use
+        to reconstruct the wait-for graph.
+        """
         token = next(self._blocked_seq)
         self._blocked[token] = description
+        if info is not None:
+            self._blocked_info[token] = info
         return token
 
     def note_unblocked(self, token: int) -> None:
         """Forget a blocked-process record created by :meth:`note_blocked`."""
         self._blocked.pop(token, None)
+        self._blocked_info.pop(token, None)
 
     @property
     def blocked_descriptions(self) -> list[str]:
         """Descriptions of currently blocked processes (ordered by block time)."""
         return [self._blocked[k] for k in sorted(self._blocked)]
+
+    @property
+    def blocked_details(self) -> list[Any]:
+        """Structured records of currently blocked processes, where the
+        waiter supplied one (ordered by block time)."""
+        return [self._blocked_info[k] for k in sorted(self._blocked_info)]
 
     # ------------------------------------------------------------------
     # Run loop
@@ -119,7 +167,7 @@ class Engine:
         """Dispatch the single earliest event. Returns False if the heap is empty."""
         if not self._heap:
             return False
-        time, _prio, _seq, fn, label = heapq.heappop(self._heap)
+        time, _prio, _jitter, _seq, fn, label = heapq.heappop(self._heap)
         # The clock never moves backwards; equal times are fine.
         self._now = time
         self._events_processed += 1
@@ -150,7 +198,8 @@ class Engine:
                     return self._now
                 self.step()
             if self._blocked:
-                raise DeadlockError(self.blocked_descriptions)
+                raise DeadlockError(self.blocked_descriptions,
+                                    details=self.blocked_details)
             return self._now
         finally:
             self._running = False

@@ -27,11 +27,15 @@ class DeadlockError(SimulationError):
     bug in the simulated program: an image waiting on a flag that nobody
     will ever set, or a barrier entered by only a subset of a team.
     The ``blocked`` attribute lists human-readable descriptions of the
-    stuck processes to make the failure debuggable.
+    stuck processes to make the failure debuggable; ``details`` carries
+    structured :class:`repro.sim.process.BlockedInfo` records (one per
+    waiter that supplied one) from which :func:`repro.verify.explain_deadlock`
+    reconstructs the wait-for graph.
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(self, blocked: list[str], details: list | None = None):
         self.blocked = list(blocked)
+        self.details = list(details) if details is not None else []
         preview = ", ".join(self.blocked[:8])
         if len(self.blocked) > 8:
             preview += f", ... ({len(self.blocked) - 8} more)"

@@ -54,6 +54,9 @@ class SimEvent:
             raise RuntimeError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_event_trigger(self)
         callbacks, self._callbacks = self._callbacks, []
         for cb in callbacks:
             cb(value)
@@ -80,29 +83,60 @@ class Cell:
     event-post counts.  Reads and writes are instantaneous — the *cost* of
     producing the write (the remote put, the memory-bus transaction) is
     charged by the machine model before ``set`` is called.
+
+    Three write flavours matter to the concurrency checker
+    (:mod:`repro.verify`): ``set`` is a plain *store* (last writer wins —
+    two unordered stores are a write-after-write race); ``add`` and
+    ``update`` are atomic read-modify-writes, which commute or are
+    order-tolerant by contract and are never flagged.  ``meta`` is an
+    optional dict the owner attaches (team, index, round, …) so deadlock
+    and race reports can say *what* a cell is, not just its name.
     """
 
-    __slots__ = ("_engine", "_value", "_watchers", "name", "_seq")
+    __slots__ = ("_engine", "_value", "_watchers", "name", "_seq", "meta")
 
-    def __init__(self, engine: Engine, value: Any = 0, name: str = ""):
+    def __init__(self, engine: Engine, value: Any = 0, name: str = "",
+                 meta: Optional[dict] = None):
         self._engine = engine
         self._value = value
         self._watchers: dict[int, tuple[Callable[[Any], bool], Callable[[Any], None]]] = {}
         self._seq = itertools.count()
         self.name = name
+        self.meta = meta
 
     @property
     def value(self) -> Any:
         return self._value
 
     def set(self, value: Any) -> None:
+        """Plain store (checked for write-after-write races when monitored)."""
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "set")
         self._value = value
         self._check_watchers()
 
     def add(self, delta: Any) -> Any:
         """Atomic read-modify-write (the simulation is single-threaded, so
         plain += is atomic); returns the new value."""
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "add")
         self._value = self._value + delta
+        self._check_watchers()
+        return self._value
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """General atomic read-modify-write: ``value = fn(value)``.
+
+        Used by the runtime's atomics (``atomic_add``/``and``/``or``/
+        ``xor``, fetch-and-op, CAS), whose target-side application is
+        atomic by construction; returns the new value.
+        """
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "update")
+        self._value = fn(self._value)
         self._check_watchers()
         return self._value
 

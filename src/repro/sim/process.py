@@ -39,7 +39,10 @@ from .engine import Engine
 from .errors import ProcessFailure
 from .primitives import Cell, Resource, SimEvent
 
-__all__ = ["Timeout", "Wait", "WaitFor", "Acquire", "Hold", "Process", "ProcGen"]
+__all__ = [
+    "Timeout", "Wait", "WaitFor", "Acquire", "Hold", "Process", "ProcGen",
+    "BlockedInfo",
+]
 
 #: Type alias for the generator signature simulated processes must have.
 ProcGen = Generator[Any, Any, Any]
@@ -86,6 +89,24 @@ class Hold:
     duration: float
 
 
+@dataclass(frozen=True)
+class BlockedInfo:
+    """Structured record of one blocked process, attached to
+    :class:`~repro.sim.errors.DeadlockError` for wait-for analysis.
+
+    ``actor`` is the identity the spawner gave the process (0-based global
+    proc id for SPMD images, ``None`` for anonymous processes); ``kind``
+    is one of ``cell``/``event``/``resource``; ``target`` is the primitive
+    being waited on (a :class:`Cell`, :class:`SimEvent`, or
+    :class:`Resource`).
+    """
+
+    process: str
+    actor: Optional[Any]
+    kind: str
+    target: Any
+
+
 class Process:
     """Drives one generator to completion against an engine.
 
@@ -93,12 +114,19 @@ class Process:
     process finishes.  Exceptions raised inside the generator are wrapped
     in :class:`~repro.sim.errors.ProcessFailure` and re-raised out of the
     engine's run loop — a crashed image never fails silently.
+
+    ``actor`` names the simulated agent this process embodies (the SPMD
+    launcher passes the image's global proc id); the concurrency monitor
+    uses it to attribute writes and waits to a vector clock, and deadlock
+    reports use it to name images.  Anonymous processes pass ``None``.
     """
 
-    def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc"):
+    def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc",
+                 actor: Optional[Any] = None):
         self._engine = engine
         self._gen = gen
         self.name = name
+        self.actor = actor
         self.done = SimEvent(engine, name=f"{name}.done")
         self._blocked_token: Optional[int] = None
         self._finished = False
@@ -114,8 +142,13 @@ class Process:
         return self.done.value
 
     # ------------------------------------------------------------------
-    def _mark_blocked(self, why: str) -> None:
-        self._blocked_token = self._engine.note_blocked(f"{self.name}: {why}")
+    def _mark_blocked(self, why: str, kind: str = "", target: Any = None) -> None:
+        info = None
+        if kind:
+            info = BlockedInfo(self.name, self.actor, kind, target)
+        self._blocked_token = self._engine.note_blocked(
+            f"{self.name}: {why}", info=info
+        )
 
     def _resume(self, value: Any) -> None:
         if self._blocked_token is not None:
@@ -124,6 +157,9 @@ class Process:
         self._step(value)
 
     def _step(self, send_value: Any) -> None:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.begin_step(self.actor)
         try:
             command = self._gen.send(send_value)
         except StopIteration as stop:
@@ -133,6 +169,9 @@ class Process:
         except Exception as exc:  # noqa: BLE001 - wrap and surface any model bug
             self._finished = True
             raise ProcessFailure(self.name, exc) from exc
+        finally:
+            if monitor is not None:
+                monitor.end_step()
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
@@ -143,27 +182,47 @@ class Process:
         elif isinstance(command, Wait):
             ev = command.event
             if not ev.triggered:
-                self._mark_blocked(f"waiting on event {ev.name!r}")
-            ev.on_trigger(self._resume)
+                self._mark_blocked(f"waiting on event {ev.name!r}", "event", ev)
+            ev.on_trigger(self._observing_resume("event", ev))
         elif isinstance(command, WaitFor):
             cell, pred = command.cell, command.pred
             if not pred(cell.value):
-                self._mark_blocked(f"waiting on cell {cell.name!r}")
-            cell.wait_until(pred, self._resume)
+                self._mark_blocked(f"waiting on cell {cell.name!r}", "cell", cell)
+            cell.wait_until(pred, self._observing_resume("cell", cell))
         elif isinstance(command, Acquire):
             res = command.resource
             grant = res.acquire()
             if not grant.triggered:
-                self._mark_blocked(f"acquiring resource {res.name!r}")
+                self._mark_blocked(f"acquiring resource {res.name!r}",
+                                   "resource", res)
             grant.on_trigger(self._resume)
         elif isinstance(command, Hold):
             res, dur = command.resource, command.duration
             done = res.occupy(dur)
             if not done.triggered:
-                self._mark_blocked(f"holding resource {res.name!r}")
+                self._mark_blocked(f"holding resource {res.name!r}",
+                                   "resource", res)
             done.on_trigger(self._resume)
         else:
             raise ProcessFailure(
                 self.name,
                 TypeError(f"process yielded non-command object {command!r}"),
             )
+
+    def _observing_resume(self, kind: str, target: Any) -> Callable[[Any], None]:
+        """A resume callback that first tells the monitor (if any) that this
+        actor observed the wait target — the waiter's clock absorbs the
+        writes that satisfied the wait, which is exactly the
+        synchronizes-with edge a spin-wait provides."""
+        monitor = self._engine.monitor
+        if monitor is None:
+            return self._resume
+
+        def _resume_observed(value: Any) -> None:
+            if kind == "cell":
+                monitor.on_cell_observed(target, self.actor)
+            else:
+                monitor.on_event_observed(target, self.actor)
+            self._resume(value)
+
+        return _resume_observed

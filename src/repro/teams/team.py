@@ -58,6 +58,11 @@ class TeamShared:
         self.engine = engine
         self.team_number = team_number
         self.parent = parent
+        #: teams formed from this one (filled as children are created) —
+        #: lets diagnostics walk the whole team tree from the initial team
+        self.children: List["TeamShared"] = []
+        if parent is not None:
+            parent.children.append(self)
         #: global proc ids ordered by team index (position p ↔ index p+1)
         self.members: List[int] = list(members)
         self.proc_to_index: Dict[int, int] = {
@@ -116,7 +121,12 @@ class TeamShared:
         key = (variant, index, round_)
         cell = self._diss_flags.get(key)
         if cell is None:
-            cell = Cell(self.engine, 0, name=f"t{self.uid}.{variant}[{index}][{round_}]")
+            cell = Cell(
+                self.engine, 0,
+                name=f"t{self.uid}.{variant}[{index}][{round_}]",
+                meta={"kind": "diss", "team": self, "index": index,
+                      "round": round_, "variant": variant},
+            )
             self._diss_flags[key] = cell
         return cell
 
@@ -124,7 +134,10 @@ class TeamShared:
         """Arrival counter at a node leader (Algorithm 1's ``cocounter``)."""
         cell = self._cocounter.get(index)
         if cell is None:
-            cell = Cell(self.engine, 0, name=f"t{self.uid}.cocounter[{index}]")
+            cell = Cell(
+                self.engine, 0, name=f"t{self.uid}.cocounter[{index}]",
+                meta={"kind": "cocounter", "team": self, "index": index},
+            )
             self._cocounter[index] = cell
         return cell
 
@@ -132,7 +145,10 @@ class TeamShared:
         """Per-slave release counter for the linear barrier's second phase."""
         cell = self._release.get(index)
         if cell is None:
-            cell = Cell(self.engine, 0, name=f"t{self.uid}.release[{index}]")
+            cell = Cell(
+                self.engine, 0, name=f"t{self.uid}.release[{index}]",
+                meta={"kind": "release", "team": self, "index": index},
+            )
             self._release[index] = cell
         return cell
 
@@ -144,7 +160,10 @@ class TeamShared:
         key = (index, tag)
         cell = self._mail_cells.get(key)
         if cell is None:
-            cell = Cell(self.engine, 0, name=f"t{self.uid}.mail[{index}]{tag}")
+            cell = Cell(
+                self.engine, 0, name=f"t{self.uid}.mail[{index}]{tag}",
+                meta={"kind": "mail", "team": self, "index": index, "tag": tag},
+            )
             self._mail_cells[key] = cell
         return cell
 

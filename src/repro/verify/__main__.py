@@ -1,0 +1,78 @@
+"""CLI entry point: ``python -m repro.verify``.
+
+Runs the conformance matrix (see :mod:`repro.verify.conformance`) and
+exits non-zero if any case fails.  ``--quick`` selects the CI smoke
+subset; ``--kind/--alg/--shape`` filter; ``--list`` prints the matrix
+without running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .conformance import KINDS, SHAPES, build_matrix, run_matrix
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="collectives conformance matrix + schedule fuzzing",
+    )
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="fuzz seeds per case (default: 20; large "
+                             "shapes cap this)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fast shapes and one payload per kind only")
+    parser.add_argument("--kind", action="append", choices=sorted(KINDS),
+                        help="restrict to one collective kind (repeatable)")
+    parser.add_argument("--alg", action="append",
+                        help="restrict to one algorithm name (repeatable)")
+    parser.add_argument("--shape", action="append", choices=sorted(SHAPES),
+                        help="restrict to one machine shape (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the selected cases and exit")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print each case as it runs")
+    args = parser.parse_args(argv)
+
+    cases = build_matrix(quick=args.quick, kinds=args.kind, algs=args.alg,
+                         shapes=args.shape)
+    if not cases:
+        print("no cases match the given filters", file=sys.stderr)
+        return 2
+    if args.list:
+        for case in cases:
+            print(case.label)
+        print(f"{len(cases)} case(s)")
+        return 0
+
+    start = time.perf_counter()
+
+    def progress(result) -> None:
+        if args.verbose or not result.ok:
+            status = "ok" if result.ok else "FAIL"
+            print(f"  {result.case.label:<58} {status} "
+                  f"({result.seeds} seed(s))")
+            if not result.ok:
+                for line in result.detail.splitlines():
+                    print(f"    {line}")
+
+    print(f"running {len(cases)} conformance case(s), "
+          f"{args.seeds} seed(s) each...")
+    results = run_matrix(cases, seeds=args.seeds, progress=progress)
+    elapsed = time.perf_counter() - start
+    failed = [r for r in results if not r.ok]
+    print(f"{len(results) - len(failed)}/{len(results)} case(s) passed "
+          f"in {elapsed:.1f}s")
+    if failed:
+        print("failed cases:")
+        for r in failed:
+            print(f"  {r.case.label}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

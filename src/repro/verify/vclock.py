@@ -1,0 +1,274 @@
+"""Vector-clock happens-before tracking for simulated SPMD runs.
+
+The :class:`HBMonitor` plugs into the simulation kernel via
+``engine.monitor`` (see :meth:`repro.runtime.program.run_spmd`'s
+``monitor`` parameter) and maintains one vector clock per image.  The
+edges it tracks are exactly the synchronization the runtime provides:
+
+* **message send** — every :class:`~repro.runtime.conduit.Conduit`
+  transfer ticks the sender's clock and snapshots it; the snapshot is the
+  causal context of everything the delivery callback does at the target
+  (a one-sided put's remote effect belongs to the *sender's* past).
+* **spin-wait satisfaction** — when a process resumes from a
+  ``WaitFor(cell, pred)``, the waiter's clock absorbs the cell's
+  accumulated write clock: the flag write it spun on synchronizes the
+  two images, which is precisely the ``sync_flags`` discipline the
+  paper's barriers rely on.
+* **event waits** — a ``Wait(event)`` absorbs the clock of whatever
+  triggered the event (RMA completions, resource grants).
+
+On top of the clocks the monitor performs one check: a **plain store**
+(:meth:`Cell.set <repro.sim.primitives.Cell.set>` — e.g.
+``atomic_define``) to a cell whose previous store is *not* in the causal
+past of the new one is an unsynchronized write-after-write race — the
+final value depends on the interleaving.  Commutative or atomic
+read-modify-writes (``Cell.add``, ``Cell.update``) are merged into the
+cell's clock but never flagged, matching their order-tolerant contracts.
+
+The tracker is an over-approximation in one direction only: it may
+*miss* races involving synchronization it cannot see (there is none in
+this runtime — all cross-image traffic goes through the conduit), but a
+reported race is always two stores with no happens-before path between
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["VectorClock", "RaceRecord", "HBMonitor"]
+
+
+class VectorClock:
+    """A sparse vector clock over actor ids (0-based image procs).
+
+    Sparse because formed sub-teams involve a subset of images; absent
+    components are zero.
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Optional[Dict[Any, int]] = None):
+        self._c: Dict[Any, int] = dict(components) if components else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def tick(self, actor: Any) -> None:
+        self._c[actor] = self._c.get(actor, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        for actor, count in other._c.items():
+            if count > self._c.get(actor, 0):
+                self._c[actor] = count
+
+    def precedes_eq(self, other: "VectorClock") -> bool:
+        """True when ``self`` ≤ ``other`` componentwise (happens-before
+        or equal)."""
+        return all(count <= other._c.get(actor, 0)
+                   for actor, count in self._c.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.precedes_eq(other) and not other.precedes_eq(self)
+
+    def components(self) -> Dict[Any, int]:
+        return dict(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{a}:{n}" for a, n in sorted(self._c.items()))
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One detected unsynchronized write-after-write."""
+
+    #: name of the cell both stores hit
+    cell: str
+    #: the cell's ``meta`` dict, if its owner attached one
+    meta: Optional[dict]
+    #: actor (0-based proc) of the earlier store, ``None`` if unattributed
+    first_writer: Optional[Any]
+    #: actor of the later store
+    second_writer: Optional[Any]
+    #: simulated time of the later store
+    time: float
+
+    def describe(self) -> str:
+        def img(actor: Any) -> str:
+            return f"image{actor + 1}" if isinstance(actor, int) else "<unknown>"
+
+        return (
+            f"write-after-write race on cell {self.cell!r}: store by "
+            f"{img(self.second_writer)} at t={self.time:.9f}s is unordered "
+            f"with the previous store by {img(self.first_writer)}"
+        )
+
+
+@dataclass
+class _CellState:
+    """Per-cell tracking: accumulated write clock + last plain store."""
+
+    clock: VectorClock = field(default_factory=VectorClock)
+    last_store: Optional[VectorClock] = None
+    last_store_writer: Optional[Any] = None
+
+
+class HBMonitor:
+    """Happens-before tracker and write-after-write race detector.
+
+    Install with ``run_spmd(..., monitor=HBMonitor())``; inspect
+    :attr:`races` afterwards (or pass ``strict=True`` to make the first
+    race raise immediately, pinpointing the exact simulated instant).
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.races: List[RaceRecord] = []
+        #: messages observed, by (src, dst) — cheap sanity statistics
+        self.messages = 0
+        self._clocks: Dict[Any, VectorClock] = {}
+        self._cells: Dict[Any, _CellState] = {}
+        self._events: Dict[Any, VectorClock] = {}
+        # Causal context of the currently running delivery callback (a
+        # stack, since a delivery may trigger nested deliveries), plus the
+        # actor of the currently stepping process.
+        self._cause_stack: List[Tuple[VectorClock, Any]] = []
+        self._actor_stack: List[Any] = []
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, num_images: int) -> None:
+        """Called by the launcher: pre-create one clock per image."""
+        for proc in range(num_images):
+            self._clocks.setdefault(proc, VectorClock())
+
+    def clock_of(self, actor: Any) -> VectorClock:
+        clock = self._clocks.get(actor)
+        if clock is None:
+            clock = self._clocks[actor] = VectorClock()
+        return clock
+
+    @property
+    def ok(self) -> bool:
+        return not self.races
+
+    # ------------------------------------------------------------------
+    # Hooks called by the sim kernel (all tolerate anonymous actors)
+    # ------------------------------------------------------------------
+    def begin_step(self, actor: Any) -> None:
+        self._actor_stack.append(actor)
+
+    def end_step(self) -> None:
+        if self._actor_stack:
+            self._actor_stack.pop()
+
+    def _current_cause(self) -> Tuple[Optional[VectorClock], Optional[Any]]:
+        """The clock+writer a write should be attributed to right now:
+        the innermost delivery context if one is active, else the
+        currently stepping process's actor clock."""
+        if self._cause_stack:
+            return self._cause_stack[-1]
+        if self._actor_stack and self._actor_stack[-1] is not None:
+            actor = self._actor_stack[-1]
+            return self.clock_of(actor), actor
+        return None, None
+
+    def on_transfer(
+        self,
+        src_image: int,
+        dst_image: int,
+        on_delivered: Optional[Callable[[], None]],
+    ) -> Optional[Callable[[], None]]:
+        """Record a conduit message; returns the (possibly wrapped)
+        delivery callback."""
+        self.messages += 1
+        clock = self.clock_of(src_image)
+        clock.tick(src_image)
+        if on_delivered is None:
+            return None
+        snapshot = clock.copy()
+
+        def delivered() -> None:
+            self._cause_stack.append((snapshot, src_image))
+            try:
+                on_delivered()
+            finally:
+                self._cause_stack.pop()
+
+        return delivered
+
+    def on_cell_write(self, cell: Any, op: str) -> None:
+        cause, writer = self._current_cause()
+        if cause is None:
+            return
+        state = self._cells.get(cell)
+        if state is None:
+            state = self._cells[cell] = _CellState()
+        if op == "set":
+            prev = state.last_store
+            if prev is not None and not prev.precedes_eq(cause):
+                record = RaceRecord(
+                    cell=getattr(cell, "name", "") or "<anonymous>",
+                    meta=getattr(cell, "meta", None),
+                    first_writer=state.last_store_writer,
+                    second_writer=writer,
+                    time=self._now(cell),
+                )
+                self.races.append(record)
+                if self.strict:
+                    raise RaceError(record)
+            state.last_store = cause.copy()
+            state.last_store_writer = writer
+        state.clock.merge(cause)
+
+    def on_cell_observed(self, cell: Any, actor: Any) -> None:
+        if actor is None:
+            return
+        state = self._cells.get(cell)
+        if state is not None:
+            self.clock_of(actor).merge(state.clock)
+
+    def on_event_trigger(self, event: Any) -> None:
+        cause, _writer = self._current_cause()
+        if cause is None:
+            return
+        stored = self._events.get(event)
+        if stored is None:
+            self._events[event] = cause.copy()
+        else:
+            stored.merge(cause)
+
+    def on_event_observed(self, event: Any, actor: Any) -> None:
+        if actor is None:
+            return
+        stored = self._events.get(event)
+        if stored is not None:
+            self.clock_of(actor).merge(stored)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _now(cell: Any) -> float:
+        engine = getattr(cell, "_engine", None)
+        return engine.now if engine is not None else 0.0
+
+    def describe_races(self) -> str:
+        if not self.races:
+            return "no write-after-write races detected"
+        lines = [f"{len(self.races)} write-after-write race(s):"]
+        lines += [f"  - {r.describe()}" for r in self.races]
+        return "\n".join(lines)
+
+
+class RaceError(RuntimeError):
+    """Raised in strict mode at the instant a race is detected."""
+
+    def __init__(self, record: RaceRecord):
+        self.record = record
+        super().__init__(record.describe())
+
+
+__all__.append("RaceError")

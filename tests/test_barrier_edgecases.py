@@ -1,0 +1,113 @@
+"""Barrier edge cases: every variant on degenerate team shapes.
+
+The shapes that historically break barrier implementations:
+
+* **1-image teams** — log₂(1) = 0 rounds; the algorithm must degrade to
+  a no-op without dividing by zero or waiting forever;
+* **2-image teams** — exactly one round, parent==partner==peer;
+* **all-leader (flat) teams** — one image per node, so the hierarchical
+  algorithms' intra-node phases are empty and everything rides the
+  leader phase;
+* **formed sub-teams** of those sizes, where team indices differ from
+  global image numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.registry import BARRIERS
+from repro.runtime.config import UHCAF_2LEVEL
+from tests.conftest import run_small
+
+ALL_BARRIERS = sorted(BARRIERS)
+
+
+def _cfg(alg):
+    return UHCAF_2LEVEL.with_(barrier=alg)
+
+
+def _visibility_probe(ctx, rounds=2):
+    """Put a round-stamped token at the right neighbour, cross the
+    barrier, check the left neighbour's token arrived.  Returns per-round
+    mismatches (all zero when the barrier separates correctly)."""
+    me = ctx.this_image()
+    n = ctx.num_images()
+    box = yield from ctx.allocate("edge_box", (1,), dtype=np.int64)
+    mismatches = []
+    for r in range(1, rounds + 1):
+        right = me % n + 1
+        if right != me:
+            yield from ctx.put(box, right, np.int64(me * 100 + r), index=0)
+        else:
+            ctx.local(box)[0] = me * 100 + r
+        yield from ctx.sync_all()
+        left = (me - 2) % n + 1
+        mismatches.append(int(ctx.local(box)[0]) - (left * 100 + r))
+        yield from ctx.sync_all()
+    return mismatches
+
+
+@pytest.mark.parametrize("alg", ALL_BARRIERS)
+class TestInitialTeamShapes:
+    def test_single_image(self, alg):
+        result = run_small(_visibility_probe, images=1, ipn=1, config=_cfg(alg))
+        assert result.results == [[0, 0]]
+
+    def test_two_images_same_node(self, alg):
+        result = run_small(_visibility_probe, images=2, ipn=2, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 2
+
+    def test_two_images_two_nodes(self, alg):
+        result = run_small(_visibility_probe, images=2, ipn=1, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 2
+
+    def test_all_leaders_flat(self, alg):
+        result = run_small(_visibility_probe, images=4, ipn=1, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 4
+
+
+def _team_probe(group_of):
+    def main(ctx):
+        me = ctx.this_image()
+        team = yield from ctx.form_team(group_of(me))
+        yield from ctx.change_team(team)
+        idx = ctx.this_image()
+        n = ctx.num_images()
+        box = yield from ctx.allocate("team_box", (1,), dtype=np.int64)
+        mismatches = []
+        for r in range(1, 3):
+            right = idx % n + 1
+            if right != idx:
+                yield from ctx.put(box, right, np.int64(idx * 100 + r), index=0)
+            else:
+                ctx.local(box)[0] = idx * 100 + r
+            yield from ctx.sync_all()
+            left = (idx - 2) % n + 1
+            mismatches.append(int(ctx.local(box)[0]) - (left * 100 + r))
+            yield from ctx.sync_all()
+        yield from ctx.end_team()
+        return mismatches
+    return main
+
+
+@pytest.mark.parametrize("alg", ALL_BARRIERS)
+class TestFormedSubteams:
+    def test_singleton_teams(self, alg):
+        # Every image in its own 1-image team: sync_all inside the team
+        # must complete without touching any peer.
+        main = _team_probe(lambda me: me)
+        result = run_small(main, images=4, ipn=2, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 4
+
+    def test_pair_teams(self, alg):
+        # Two 2-image teams; pairs straddle the node split for ipn=2
+        # (members 1,2 on node 0 / 3,4 on node 1 — grouping (1,3), (2,4)
+        # makes each team span both nodes, every member a leader).
+        main = _team_probe(lambda me: me % 2)
+        result = run_small(main, images=4, ipn=2, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 4
+
+    def test_pair_teams_intra_node(self, alg):
+        main = _team_probe(lambda me: (me + 1) // 2)
+        result = run_small(main, images=4, ipn=2, config=_cfg(alg))
+        assert result.results == [[0, 0]] * 4

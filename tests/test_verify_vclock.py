@@ -1,0 +1,137 @@
+"""Vector clocks and the happens-before race monitor."""
+
+import pytest
+
+from repro.verify import HBMonitor, RaceError, VectorClock
+from tests.conftest import run_small
+
+
+# ----------------------------------------------------------------------
+# VectorClock algebra
+# ----------------------------------------------------------------------
+class TestVectorClock:
+    def test_empty_precedes_everything(self):
+        a, b = VectorClock(), VectorClock({0: 3})
+        assert a.precedes_eq(b)
+        assert not b.precedes_eq(a)
+
+    def test_tick_and_merge(self):
+        a = VectorClock()
+        a.tick(0)
+        a.tick(0)
+        b = VectorClock()
+        b.tick(1)
+        b.merge(a)
+        assert b.components() == {0: 2, 1: 1}
+
+    def test_concurrency(self):
+        a, b = VectorClock({0: 1}), VectorClock({1: 1})
+        assert a.concurrent_with(b)
+        b.merge(a)
+        b.tick(1)
+        assert a.precedes_eq(b)
+        assert not a.concurrent_with(b)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        c = a.copy()
+        c.tick(0)
+        assert a.components() == {0: 1}
+        assert c.components() == {0: 2}
+
+
+# ----------------------------------------------------------------------
+# Monitored SPMD runs
+# ----------------------------------------------------------------------
+def _ordered_main(ctx):
+    """Stores to the same atomic on both sides of barriers: properly
+    synchronized, race-free."""
+    me = ctx.this_image()
+    var = yield from ctx.atomic_var("v")
+    if me == 1:
+        yield from ctx.atomic_define(var, 1, 10)
+    yield from ctx.sync_all()
+    if me == 2:
+        yield from ctx.atomic_define(var, 1, 20)
+    yield from ctx.sync_all()
+    return ctx.atomic_ref(var)
+
+
+def _racy_main(ctx):
+    """Unordered stores by two images to the same atomic: a WAW race."""
+    me = ctx.this_image()
+    var = yield from ctx.atomic_var("v")
+    yield from ctx.atomic_define(var, 1, me)
+    yield from ctx.sync_all()
+    return ctx.atomic_ref(var)
+
+
+class TestHBMonitor:
+    def test_synchronized_stores_are_clean(self):
+        monitor = HBMonitor()
+        run_small(_ordered_main, images=4, monitor=monitor)
+        assert monitor.ok
+        assert monitor.messages > 0
+        assert "no write-after-write races" in monitor.describe_races()
+
+    def test_waw_race_detected(self):
+        monitor = HBMonitor()
+        run_small(_racy_main, images=2, monitor=monitor)
+        assert not monitor.ok
+        record = monitor.races[0]
+        assert "write-after-write race" in record.describe()
+        assert record.meta["kind"] == "atomic"
+        writers = {record.first_writer, record.second_writer}
+        assert writers == {0, 1}
+
+    def test_strict_mode_raises_at_the_instant(self):
+        with pytest.raises(RaceError) as excinfo:
+            run_small(_racy_main, images=2, monitor=HBMonitor(strict=True))
+        assert excinfo.value.record.meta["kind"] == "atomic"
+
+    def test_rmw_ops_never_flagged(self):
+        # Concurrent atomic adds commute; they must not be reported even
+        # though they are unordered.
+        def adders(ctx):
+            var = yield from ctx.atomic_var("acc")
+            yield from ctx.atomic_add(var, 1, 1)
+            yield from ctx.sync_all()
+            return ctx.atomic_ref(var) if ctx.this_image() == 1 else None
+
+        monitor = HBMonitor()
+        result = run_small(adders, images=4, monitor=monitor)
+        assert monitor.ok
+        assert result.results[0] == 4
+
+    def test_collectives_are_race_free(self):
+        # Every sync flag the barrier algorithms touch goes through
+        # Cell.add (commutative); a run across two nodes must be clean.
+        def main(ctx):
+            for _ in range(3):
+                yield from ctx.sync_all()
+            got = yield from ctx.co_reduce(ctx.this_image(), op="sum")
+            return got
+
+        monitor = HBMonitor()
+        result = run_small(main, images=8, ipn=4, monitor=monitor)
+        assert monitor.ok
+        assert result.results == [sum(range(1, 9))] * 8
+
+    def test_barrier_orders_cross_image_stores(self):
+        # The whole point of sync_all: stores before it happen-before
+        # stores after it, on every image pair — the monitor's clocks
+        # must agree (no false positives across 3 rounds).
+        def main(ctx):
+            me = ctx.this_image()
+            n = ctx.num_images()
+            var = yield from ctx.atomic_var("turn")
+            for round_ in range(3):
+                writer = (round_ % n) + 1
+                if me == writer:
+                    yield from ctx.atomic_define(var, 1, round_)
+                yield from ctx.sync_all()
+            return None
+
+        monitor = HBMonitor()
+        run_small(main, images=4, ipn=2, monitor=monitor)
+        assert monitor.ok, monitor.describe_races()
