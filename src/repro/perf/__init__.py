@@ -1,0 +1,31 @@
+"""Simulation-kernel performance instrumentation.
+
+The discrete-event engine's throughput is the "hardware speed" of this
+reproduction — every experiment regenerates by pushing events through
+it — so this package makes that speed observable:
+
+* :func:`~repro.perf.stats.run_with_stats` — drive any engine through
+  the instrumented path and get events/sec, wall time, peak heap depth
+  and an event-label histogram back.
+* :mod:`repro.perf.bench` — microbenchmarks (engine dispatch, trampoline,
+  sync-cell kernel, end-to-end TDLB barrier) that run the same workload
+  against the live kernel and the frozen pre-change kernel
+  (:mod:`repro.perf._legacy`) for a noise-free in-process speedup.
+* ``python -m repro.perf`` — the CLI; writes ``BENCH_SIM_KERNEL.json``
+  (the perf trajectory consumed by CI's perf-smoke job).
+"""
+
+from .bench import (
+    BenchResult,
+    bench_engine_dispatch,
+    bench_sync_kernel,
+    bench_tdlb_barrier,
+    bench_trampoline,
+)
+from .stats import EngineStats, run_with_stats
+
+__all__ = [
+    "BenchResult", "EngineStats", "run_with_stats",
+    "bench_engine_dispatch", "bench_sync_kernel", "bench_tdlb_barrier",
+    "bench_trampoline",
+]

@@ -1,0 +1,188 @@
+"""``python -m repro.perf`` — simulation-kernel throughput report.
+
+Runs the kernel microbenchmarks (each against both the live kernel and
+the frozen pre-change baseline in :mod:`repro.perf._legacy`), one
+end-to-end TDLB barrier sweep, and an instrumented stats sample; prints
+a table and writes ``BENCH_SIM_KERNEL.json``.
+
+Modes
+-----
+``--smoke``
+    Reduced sizes for CI (a few seconds).  Same schema in the JSON.
+``--baseline FILE --min-ratio R``
+    Regression gate: exit 2 if the fresh engine-microbenchmark
+    events/sec falls below ``R`` × the baseline file's number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+
+from ..machine import build_machine, paper_cluster
+from ..sim.engine import Engine
+from .bench import (
+    bench_engine_dispatch,
+    bench_sync_kernel,
+    bench_tdlb_barrier,
+    bench_trampoline,
+)
+from .stats import run_with_stats
+
+#: Workload sizes per mode.  The engine microbenchmark (``engine_dispatch``)
+#: is the headline number the CI gate tracks.
+SIZES = {
+    "full": {
+        "trampoline": dict(events=400_000, chains=8, repeats=4),
+        "engine_dispatch": dict(procs=32, events_per_proc=8_000, repeats=4),
+        "sync_kernel": dict(pairs=8, rounds=4_000, repeats=4),
+        "tdlb_barrier": dict(iters=400, num_images=16, images_per_node=8, repeats=3),
+    },
+    "smoke": {
+        "trampoline": dict(events=60_000, chains=8, repeats=2),
+        "engine_dispatch": dict(procs=16, events_per_proc=2_000, repeats=2),
+        "sync_kernel": dict(pairs=4, rounds=1_000, repeats=2),
+        "tdlb_barrier": dict(iters=50, num_images=16, images_per_node=8, repeats=2),
+    },
+}
+
+_AB_BENCHES = {
+    "trampoline": bench_trampoline,
+    "engine_dispatch": bench_engine_dispatch,
+    "sync_kernel": bench_sync_kernel,
+}
+
+
+def _stats_sample(num_images: int = 16, images_per_node: int = 8,
+                  iters: int = 20) -> dict:
+    """One small instrumented TDLB run through :func:`run_with_stats`."""
+    engine = Engine()
+    nodes = -(-num_images // images_per_node)
+    machine = build_machine(
+        engine, paper_cluster(max(nodes, 1)), num_images,
+        images_per_node=images_per_node,
+    )
+
+    def main(ctx, n):
+        for _ in range(n):
+            yield from ctx.sync_all()
+
+    # run_spmd drains the engine itself; to observe the run we spawn the
+    # images by hand and let run_with_stats drive the loop instead.
+    from ..runtime.program import CafContext, UHCAF_2LEVEL, World
+    from ..sim.process import Process
+
+    world = World(machine, UHCAF_2LEVEL)
+    for proc in range(machine.num_images):
+        Process(engine, main(CafContext(world, proc), iters),
+                name=f"image{proc + 1}", actor=proc)
+    stats = run_with_stats(engine)
+    return stats.as_dict(top=8)
+
+
+def run_benchmarks(mode: str) -> dict:
+    sizes = SIZES[mode]
+    benchmarks: dict = {}
+    for name, fn in _AB_BENCHES.items():
+        kw = sizes[name]
+        cur = fn("current", **kw)
+        leg = fn("legacy", **kw)
+        speedup = (cur.events_per_sec / leg.events_per_sec
+                   if leg.events_per_sec else float("nan"))
+        entry = cur.as_dict()
+        entry.pop("kernel")
+        entry["legacy_events_per_sec"] = round(leg.events_per_sec, 1)
+        entry["speedup_vs_legacy"] = round(speedup, 3)
+        benchmarks[name] = entry
+    tdlb = bench_tdlb_barrier(**sizes["tdlb_barrier"])
+    entry = tdlb.as_dict()
+    entry.pop("kernel")
+    benchmarks["tdlb_barrier"] = entry
+    benchmarks["tdlb_barrier_stats"] = _stats_sample()
+    return benchmarks
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "# repro.perf — simulation-kernel throughput "
+        f"({payload['mode']}, python {payload['python']})",
+        "",
+        f"{'benchmark':<18} {'events/s':>12} {'legacy ev/s':>12} {'speedup':>8}",
+    ]
+    for name, entry in payload["benchmarks"].items():
+        if "events_per_sec" not in entry:
+            continue
+        legacy = entry.get("legacy_events_per_sec")
+        speed = entry.get("speedup_vs_legacy")
+        lines.append(
+            f"{name:<18} {entry['events_per_sec']:>12,.0f} "
+            f"{legacy:>12,.0f} {speed:>7.2f}x" if legacy is not None else
+            f"{name:<18} {entry['events_per_sec']:>12,.0f} {'—':>12} {'—':>8}"
+        )
+    head = payload["headline"]
+    lines += [
+        "",
+        f"engine microbenchmark: {head['engine_events_per_sec']:,.0f} events/s, "
+        f"{head['speedup_vs_legacy']:.2f}x vs. pre-change kernel",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes for CI (seconds, same JSON schema)")
+    parser.add_argument("-o", "--out", default="BENCH_SIM_KERNEL.json",
+                        help="where to write the JSON (default: repo root/cwd)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_SIM_KERNEL.json to gate against")
+    parser.add_argument("--min-ratio", type=float, default=0.7,
+                        help="fail if fresh/baseline events/sec < this (default 0.7)")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    benchmarks = run_benchmarks(mode)
+    engine_entry = benchmarks["engine_dispatch"]
+    payload = {
+        "schema": "repro.perf/bench_sim_kernel/v1",
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benchmarks": benchmarks,
+        "headline": {
+            "engine_events_per_sec": engine_entry["events_per_sec"],
+            "speedup_vs_legacy": engine_entry["speedup_vs_legacy"],
+        },
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(render(payload))
+    print(f"\nwrote {args.out}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        base_eps = base["headline"]["engine_events_per_sec"]
+        fresh_eps = payload["headline"]["engine_events_per_sec"]
+        ratio = fresh_eps / base_eps if base_eps else float("inf")
+        print(f"regression gate: fresh {fresh_eps:,.0f} ev/s vs baseline "
+              f"{base_eps:,.0f} ev/s -> ratio {ratio:.2f} "
+              f"(min {args.min_ratio:.2f})")
+        if ratio < args.min_ratio:
+            print("FAIL: engine throughput regressed past the gate",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

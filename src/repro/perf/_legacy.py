@@ -1,0 +1,457 @@
+"""The pre-fast-path simulation kernel, frozen as a benchmark baseline.
+
+``repro.perf`` reports the kernel speedup *in-process*: the same workload
+runs against the live :mod:`repro.sim` kernel and against this module,
+so the ratio is free of machine noise and does not depend on checking out
+an old revision.  This is a faithful fusion of the engine, process driver
+and primitives exactly as they stood before the fast-path work:
+
+* ``Engine.schedule`` validates with ``math.isfinite`` and pushes a
+  6-tuple ``(time, priority, jitter, seq, fn, label)`` on every call,
+  jitter slot included even when no ``tiebreak_seed`` is set;
+* ``Engine.run`` calls ``step()`` per event (bound-method dispatch, an
+  ``until`` check per iteration, per-event ``events_processed`` store);
+* ``Process._dispatch`` walks an ``isinstance`` ladder, creates a fresh
+  ``lambda`` and formats an f-string label for every ``Timeout``, and
+  materializes blocked descriptions/``BlockedInfo`` eagerly;
+* ``Cell._check_watchers`` calls ``sorted()`` on every write and
+  ``Resource`` queues grants in a ``list`` popped from the front.
+
+Nothing here is exported from :mod:`repro.perf`; it exists only so the
+benchmarks can measure "vs. a pre-change baseline".  Do not "fix" it —
+its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..sim.errors import DeadlockError, ProcessFailure, SimulationLimitExceeded
+
+DEFAULT_MAX_EVENTS = 500_000_000
+
+
+class Engine:
+    """Pre-change event-heap kernel: 6-tuple records, ``step()`` per event."""
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        trace: Optional[Callable[[float, str], None]] = None,
+        tiebreak_seed: Optional[int] = None,
+    ):
+        self._heap: list[tuple[float, int, float, int, Callable[[], None], str]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._max_events = int(max_events)
+        self._events_processed = 0
+        self._trace = trace
+        self._tiebreak_seed = tiebreak_seed
+        self._tiebreak_rng = (
+            random.Random(tiebreak_seed) if tiebreak_seed is not None else None
+        )
+        self.monitor: Optional[Any] = None
+        self._blocked: dict[int, str] = {}
+        self._blocked_info: dict[int, Any] = {}
+        self._blocked_seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def tiebreak_seed(self) -> Optional[int]:
+        return self._tiebreak_seed
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        jitter = 0.0 if self._tiebreak_rng is None else self._tiebreak_rng.random()
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, priority, jitter, next(self._seq), fn, label),
+        )
+
+    def call_now(self, fn: Callable[[], None], label: str = "") -> None:
+        self.schedule(0.0, fn, label=label)
+
+    def note_blocked(self, description: str, info: Any = None) -> int:
+        token = next(self._blocked_seq)
+        self._blocked[token] = description
+        if info is not None:
+            self._blocked_info[token] = info
+        return token
+
+    def note_unblocked(self, token: int) -> None:
+        self._blocked.pop(token, None)
+        self._blocked_info.pop(token, None)
+
+    @property
+    def blocked_descriptions(self) -> list[str]:
+        return [self._blocked[k] for k in sorted(self._blocked)]
+
+    @property
+    def blocked_details(self) -> list[Any]:
+        return [self._blocked_info[k] for k in sorted(self._blocked_info)]
+
+    def step(self) -> bool:
+        if not self._heap:
+            return False
+        time, _prio, _jitter, _seq, fn, label = heapq.heappop(self._heap)
+        self._now = time
+        self._events_processed += 1
+        if self._events_processed > self._max_events:
+            raise SimulationLimitExceeded(
+                f"exceeded max_events={self._max_events} at t={self._now:.9f}s"
+            )
+        if self._trace is not None and label:
+            self._trace(time, label)
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        if self._running:
+            raise RuntimeError("Engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if self._blocked:
+                raise DeadlockError(self.blocked_descriptions,
+                                    details=self.blocked_details)
+            return self._now
+        finally:
+            self._running = False
+
+
+class SimEvent:
+    __slots__ = ("_engine", "_triggered", "_value", "_callbacks", "name")
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self._engine = engine
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError(f"event {self.name!r} read before trigger")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_event_trigger(self)
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Cell:
+    """Pre-change watched cell: ``sorted()`` over watcher keys per write."""
+
+    __slots__ = ("_engine", "_value", "_watchers", "name", "_seq", "meta")
+
+    def __init__(self, engine: Engine, value: Any = 0, name: str = "",
+                 meta: Optional[dict] = None):
+        self._engine = engine
+        self._value = value
+        self._watchers: dict[int, tuple[Callable[[Any], bool], Callable[[Any], None]]] = {}
+        self._seq = itertools.count()
+        self.name = name
+        self.meta = meta
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "set")
+        self._value = value
+        self._check_watchers()
+
+    def add(self, delta: Any) -> Any:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "add")
+        self._value = self._value + delta
+        self._check_watchers()
+        return self._value
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.on_cell_write(self, "update")
+        self._value = fn(self._value)
+        self._check_watchers()
+        return self._value
+
+    def _check_watchers(self) -> None:
+        if not self._watchers:
+            return
+        for key in sorted(self._watchers):
+            entry = self._watchers.get(key)
+            if entry is None:
+                continue
+            pred, cb = entry
+            if pred(self._value):
+                del self._watchers[key]
+                cb(self._value)
+
+    def wait_until(
+        self, pred: Callable[[Any], bool], callback: Callable[[Any], None]
+    ) -> Optional[int]:
+        if pred(self._value):
+            callback(self._value)
+            return None
+        key = next(self._seq)
+        self._watchers[key] = (pred, callback)
+        return key
+
+    def cancel_wait(self, key: int) -> None:
+        self._watchers.pop(key, None)
+
+
+class Resource:
+    """Pre-change FIFO semaphore: grant queue is a ``list``, pop(0) per release."""
+
+    __slots__ = ("_engine", "capacity", "_in_use", "_queue", "name", "_granted", "_peak")
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[SimEvent] = []
+        self.name = name
+        self._granted = 0
+        self._peak = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> SimEvent:
+        grant = SimEvent(self._engine, name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted += 1
+            grant.trigger()
+        else:
+            self._queue.append(grant)
+            self._peak = max(self._peak, len(self._queue))
+        return grant
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.pop(0)
+            self._granted += 1
+            nxt.trigger()
+        else:
+            self._in_use -= 1
+
+    def occupy(self, duration: float, then: Optional[Callable[[], None]] = None) -> SimEvent:
+        done = SimEvent(self._engine, name=f"{self.name}.occupy")
+
+        def _granted(_: Any) -> None:
+            def _finish() -> None:
+                self.release()
+                if then is not None:
+                    then()
+                done.trigger()
+
+            self._engine.schedule(duration, _finish, label=f"{self.name}.hold")
+
+        self.acquire().on_trigger(_granted)
+        return done
+
+
+ProcGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    event: SimEvent
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    cell: Cell
+    pred: Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: Resource
+
+
+@dataclass(frozen=True)
+class Hold:
+    resource: Resource
+    duration: float
+
+
+@dataclass(frozen=True)
+class BlockedInfo:
+    process: str
+    actor: Optional[Any]
+    kind: str
+    target: Any
+
+
+class Process:
+    """Pre-change process driver: ``isinstance`` ladder, per-Timeout lambda
+    + f-string label, eager blocked descriptions."""
+
+    def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc",
+                 actor: Optional[Any] = None):
+        self._engine = engine
+        self._gen = gen
+        self.name = name
+        self.actor = actor
+        self.done = SimEvent(engine, name=f"{name}.done")
+        self._blocked_token: Optional[int] = None
+        self._finished = False
+        engine.call_now(lambda: self._step(None), label=f"{name}.start")
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def _mark_blocked(self, why: str, kind: str = "", target: Any = None) -> None:
+        info = None
+        if kind:
+            info = BlockedInfo(self.name, self.actor, kind, target)
+        self._blocked_token = self._engine.note_blocked(
+            f"{self.name}: {why}", info=info
+        )
+
+    def _resume(self, value: Any) -> None:
+        if self._blocked_token is not None:
+            self._engine.note_unblocked(self._blocked_token)
+            self._blocked_token = None
+        self._step(value)
+
+    def _step(self, send_value: Any) -> None:
+        monitor = self._engine.monitor
+        if monitor is not None:
+            monitor.begin_step(self.actor)
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001
+            self._finished = True
+            raise ProcessFailure(self.name, exc) from exc
+        finally:
+            if monitor is not None:
+                monitor.end_step()
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._engine.schedule(
+                command.delay, lambda: self._step(None), label=f"{self.name}.timeout"
+            )
+        elif isinstance(command, Wait):
+            ev = command.event
+            if not ev.triggered:
+                self._mark_blocked(f"waiting on event {ev.name!r}", "event", ev)
+            ev.on_trigger(self._observing_resume("event", ev))
+        elif isinstance(command, WaitFor):
+            cell, pred = command.cell, command.pred
+            if not pred(cell.value):
+                self._mark_blocked(f"waiting on cell {cell.name!r}", "cell", cell)
+            cell.wait_until(pred, self._observing_resume("cell", cell))
+        elif isinstance(command, Acquire):
+            res = command.resource
+            grant = res.acquire()
+            if not grant.triggered:
+                self._mark_blocked(f"acquiring resource {res.name!r}",
+                                   "resource", res)
+            grant.on_trigger(self._resume)
+        elif isinstance(command, Hold):
+            res, dur = command.resource, command.duration
+            done = res.occupy(dur)
+            if not done.triggered:
+                self._mark_blocked(f"holding resource {res.name!r}",
+                                   "resource", res)
+            done.on_trigger(self._resume)
+        else:
+            raise ProcessFailure(
+                self.name,
+                TypeError(f"process yielded non-command object {command!r}"),
+            )
+
+    def _observing_resume(self, kind: str, target: Any) -> Callable[[Any], None]:
+        monitor = self._engine.monitor
+        if monitor is None:
+            return self._resume
+
+        def _resume_observed(value: Any) -> None:
+            if kind == "cell":
+                monitor.on_cell_observed(target, self.actor)
+            else:
+                monitor.on_event_observed(target, self.actor)
+            self._resume(value)
+
+        return _resume_observed

@@ -51,6 +51,13 @@ class Conduit:
             Resource(machine.engine, capacity=1, name=f"conduit{n}")
             for n in range(machine.spec.num_nodes)
         ]
+        # Placement is fixed at launch, but resolving it went through two
+        # attribute hops plus a method call per endpoint per message — and
+        # same-node transfers resolved both endpoints twice.  Snapshot the
+        # image→Placement map once at construction.
+        self._placements = [
+            machine.topology.placement(i) for i in range(machine.num_images)
+        ]
         #: lifetime message counters by path, for the accounting experiments
         self.counts = {"remote": 0, "loopback": 0, "direct": 0}
 
@@ -93,7 +100,8 @@ class Conduit:
         Forcing ``direct`` for a cross-node pair is rejected: stores do not
         cross the network.
         """
-        same = self.machine.same_node(src_image, dst_image)
+        placements = self._placements
+        same = placements[src_image].node == placements[dst_image].node
         if path == "auto":
             if not same:
                 return "remote"
@@ -126,20 +134,21 @@ class Conduit:
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
         on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
-        src_node = self.machine.node_of(src_image)
+        placements = self._placements
+        ps = placements[src_image]
+        src_node = ps.node
 
         if resolved == "remote":
             yield from self._overhead(src_node, self.profile.remote_overhead)
             yield from self.machine.interconnect.send(
                 src_node,
-                self.machine.node_of(dst_image),
+                placements[dst_image].node,
                 nbytes,
                 on_delivered=on_delivered,
             )
             return
 
-        ps = self.machine.topology.placement(src_image)
-        pd = self.machine.topology.placement(dst_image)
+        pd = placements[dst_image]
         if resolved == "loopback":
             yield from self._overhead(src_node, self.profile.local_overhead)
             penalty = self.profile.loopback_penalty
@@ -181,19 +190,20 @@ class Conduit:
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
         on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
-        src_node = self.machine.node_of(src_image)
+        placements = self._placements
+        ps = placements[src_image]
+        src_node = ps.node
 
         if resolved == "remote":
             yield from self._overhead(src_node, self.profile.remote_overhead)
             return self.machine.interconnect.send_async(
                 src_node,
-                self.machine.node_of(dst_image),
+                placements[dst_image].node,
                 nbytes,
                 on_delivered=on_delivered,
             )
 
-        ps = self.machine.topology.placement(src_image)
-        pd = self.machine.topology.placement(dst_image)
+        pd = placements[dst_image]
         if resolved == "loopback":
             yield from self._overhead(src_node, self.profile.local_overhead)
             penalty = self.profile.loopback_penalty

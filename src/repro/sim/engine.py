@@ -28,11 +28,23 @@ import heapq
 import itertools
 import math
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from .errors import DeadlockError, SimulationLimitExceeded
 
 __all__ = ["Engine"]
+
+#: Upper bound used by ``schedule``'s combined delay check: a chained
+#: ``0.0 <= delay < _INF`` rejects negatives, ``inf`` and (because any
+#: comparison with NaN is false) ``nan`` in one expression.
+_INF = math.inf
+
+#: Default-path event records merge ``(priority, seq)`` into one integer
+#: key — ``priority * _PRIORITY_STRIDE + seq`` — so a record is a lean
+#: 4-tuple.  The stride exceeds any reachable sequence number (the event
+#: ceiling tops out around 5e8 ≪ 2**48), so priority strictly dominates
+#: and insertion order breaks ties, for negative priorities too.
+_PRIORITY_STRIDE = 2 ** 48
 
 #: Default ceiling on processed events; generous enough for the largest
 #: benchmark in the suite (HPL at 256 images) while still catching livelock.
@@ -55,7 +67,22 @@ class Engine:
         seed-determined pseudo-random order instead of insertion order.
         Used by :mod:`repro.verify` to fuzz legal interleavings; leave
         ``None`` (the default) for the historical insertion-order policy.
+
+    .. note::
+       ``schedule`` and ``call_now`` are per-instance closures bound in
+       ``__init__`` (one flavour per tiebreak mode) with the heap,
+       ``heappush`` and the sequence counter pre-captured: the hot loop
+       calls them millions of times per simulated second, and the
+       specialization drops four attribute lookups and the bound-method
+       re-creation from every call.  Their contract is documented on
+       :meth:`_bind_schedule`.
     """
+
+    __slots__ = (
+        "_heap", "_now", "_max_events", "_events_processed", "_trace",
+        "_tiebreak_seed", "_tiebreak_rng", "monitor", "_blocked",
+        "_blocked_info", "_blocked_seq", "_running", "schedule", "call_now",
+    )
 
     def __init__(
         self,
@@ -63,8 +90,14 @@ class Engine:
         trace: Optional[Callable[[float, str], None]] = None,
         tiebreak_seed: Optional[int] = None,
     ):
-        self._heap: list[tuple[float, int, float, int, Callable[[], None], str]] = []
-        self._seq = itertools.count()
+        # Event records are lean 4-tuples ``(time, key, fn, label)`` on the
+        # default path, with ``key = priority * _PRIORITY_STRIDE + seq``;
+        # with a ``tiebreak_seed`` they are the historical 6-tuples
+        # ``(time, priority, jitter, seq, fn, label)``.  The two shapes
+        # never mix within one engine (the seed is fixed at construction),
+        # and with jitter pinned at 0.0 the 6-tuple ordered exactly as the
+        # 4-tuple's merged key — so the lean record cannot reorder anything.
+        self._heap: list[tuple] = []
         self._now = 0.0
         self._max_events = int(max_events)
         self._events_processed = 0
@@ -79,10 +112,90 @@ class Engine:
         self.monitor: Optional[Any] = None
         # Registry of blocked-process descriptions for deadlock reporting.
         # Keyed by an opaque token so waiters can deregister in O(1).
-        self._blocked: dict[int, str] = {}
+        self._blocked: dict[int, Union[str, Callable[[], str]]] = {}
         self._blocked_info: dict[int, Any] = {}
         self._blocked_seq = itertools.count()
         self._running = False
+        self._bind_schedule()
+
+    def _bind_schedule(self) -> None:
+        """Bind the per-instance ``schedule``/``call_now`` closures.
+
+        ``schedule(delay, fn, priority=0, label="")`` runs ``fn`` after
+        ``delay`` simulated seconds.  ``delay`` must be finite and
+        non-negative: simulated causality only flows forward.
+        ``priority`` breaks ties at equal timestamps (lower fires first),
+        and insertion order breaks remaining ties — unless a
+        ``tiebreak_seed`` permutes same-slot events (see the module doc).
+
+        ``call_now(fn, label="")`` schedules ``fn`` at the current
+        instant, after pending same-time events.
+        """
+        heap = self._heap
+        push = heapq.heappush
+        rng = self._tiebreak_rng
+        seq = 0  # tail tie-break counter, shared by both closures
+
+        if rng is None:
+
+            def schedule(
+                delay: float,
+                fn: Callable[[], None],
+                priority: int = 0,
+                label: str = "",
+            ) -> None:
+                # One chained comparison validates every legal delay (0.0
+                # included: adding it is free) and rejects negatives, inf
+                # and NaN — the historical `< 0 or not isfinite` pair cost
+                # two checks and a C call on every event.
+                if 0.0 <= delay < _INF:
+                    time = self._now + delay
+                else:
+                    raise ValueError(
+                        f"delay must be finite and >= 0, got {delay!r}"
+                    )
+                nonlocal seq
+                seq += 1
+                push(
+                    heap,
+                    (
+                        time,
+                        priority * _PRIORITY_STRIDE + seq if priority else seq,
+                        fn,
+                        label,
+                    ),
+                )
+
+            def call_now(fn: Callable[[], None], label: str = "") -> None:
+                nonlocal seq
+                seq += 1
+                push(heap, (self._now, seq, fn, label))
+
+        else:
+
+            def schedule(
+                delay: float,
+                fn: Callable[[], None],
+                priority: int = 0,
+                label: str = "",
+            ) -> None:
+                if 0.0 <= delay < _INF:
+                    time = self._now + delay
+                else:
+                    raise ValueError(
+                        f"delay must be finite and >= 0, got {delay!r}"
+                    )
+                nonlocal seq
+                seq += 1
+                push(heap, (time, priority, rng.random(), seq, fn, label))
+
+            def call_now(fn: Callable[[], None], label: str = "") -> None:
+                nonlocal seq
+                seq += 1
+                push(heap, (self._now, 0, rng.random(), seq, fn, label))
+
+        self.schedule = schedule
+        self.call_now = call_now
 
     # ------------------------------------------------------------------
     # Clock & scheduling
@@ -102,37 +215,18 @@ class Engine:
         """The schedule-fuzzing seed, or ``None`` for insertion order."""
         return self._tiebreak_seed
 
-    def schedule(
-        self,
-        delay: float,
-        fn: Callable[[], None],
-        priority: int = 0,
-        label: str = "",
-    ) -> None:
-        """Run ``fn`` after ``delay`` simulated seconds.
-
-        ``delay`` must be finite and non-negative: simulated causality only
-        flows forward.  ``priority`` breaks ties at equal timestamps (lower
-        fires first), and insertion order breaks remaining ties — unless a
-        ``tiebreak_seed`` permutes same-slot events (see the module doc).
-        """
-        if delay < 0 or not math.isfinite(delay):
-            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
-        jitter = 0.0 if self._tiebreak_rng is None else self._tiebreak_rng.random()
-        heapq.heappush(
-            self._heap,
-            (self._now + delay, priority, jitter, next(self._seq), fn, label),
-        )
-
-    def call_now(self, fn: Callable[[], None], label: str = "") -> None:
-        """Schedule ``fn`` at the current instant (after pending same-time events)."""
-        self.schedule(0.0, fn, label=label)
-
     # ------------------------------------------------------------------
     # Blocked-process bookkeeping (for deadlock diagnostics)
     # ------------------------------------------------------------------
-    def note_blocked(self, description: str, info: Any = None) -> int:
+    def note_blocked(
+        self, description: Union[str, Callable[[], str]], info: Any = None
+    ) -> int:
         """Record that a process is blocked; returns a token for :meth:`note_unblocked`.
+
+        ``description`` may be a plain string or a zero-argument callable
+        returning one — waiters on the hot path pass a callable so the
+        human-readable text is only materialized if a deadlock report
+        actually needs it.
 
         ``info`` may carry a structured record (see
         :class:`repro.sim.process.BlockedInfo`) that deadlock reports use
@@ -152,22 +246,40 @@ class Engine:
     @property
     def blocked_descriptions(self) -> list[str]:
         """Descriptions of currently blocked processes (ordered by block time)."""
-        return [self._blocked[k] for k in sorted(self._blocked)]
+        return [
+            d() if callable(d) else d
+            for d in (self._blocked[k] for k in sorted(self._blocked))
+        ]
 
     @property
     def blocked_details(self) -> list[Any]:
         """Structured records of currently blocked processes, where the
-        waiter supplied one (ordered by block time)."""
-        return [self._blocked_info[k] for k in sorted(self._blocked_info)]
+        waiter supplied one (ordered by block time).  Records registered
+        as zero-argument callables are materialized here — the cold path
+        of deadlock reporting."""
+        return [
+            info() if callable(info) else info
+            for info in (self._blocked_info[k] for k in sorted(self._blocked_info))
+        ]
 
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Dispatch the single earliest event. Returns False if the heap is empty."""
+        """Dispatch the single earliest event. Returns False if the heap is empty.
+
+        This is the instrumentation-friendly slow path: the
+        :meth:`run` loop inlines the same logic with locals hoisted, so
+        tools that need per-event control (``repro.perf`` stats, tests)
+        can drive ``step()`` without the fast loop having to pay for the
+        method call on every event.
+        """
         if not self._heap:
             return False
-        time, _prio, _jitter, _seq, fn, label = heapq.heappop(self._heap)
+        record = heapq.heappop(self._heap)
+        # Record shape varies with tiebreak mode; time/fn/label positions
+        # are stable at the ends.
+        time = record[0]
         # The clock never moves backwards; equal times are fine.
         self._now = time
         self._events_processed += 1
@@ -175,9 +287,10 @@ class Engine:
             raise SimulationLimitExceeded(
                 f"exceeded max_events={self._max_events} at t={self._now:.9f}s"
             )
+        label = record[-1]
         if self._trace is not None and label:
             self._trace(time, label)
-        fn()
+        record[-2]()
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -192,14 +305,59 @@ class Engine:
             raise RuntimeError("Engine.run() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    return self._now
-                self.step()
+            if until is None and self._tiebreak_rng is None:
+                self._run_fast()
+            else:
+                while self._heap:
+                    if until is not None and self._heap[0][0] > until:
+                        self._now = until
+                        return self._now
+                    self.step()
             if self._blocked:
                 raise DeadlockError(self.blocked_descriptions,
                                     details=self.blocked_details)
             return self._now
         finally:
             self._running = False
+
+    def _run_fast(self) -> None:
+        """Drain the heap on the default path (no ``until`` horizon, no
+        tiebreak jitter): the per-event dispatch with ``heappop`` and the
+        heap hoisted into locals and no ``step()`` call per event.  Event
+        order, clock updates, tracing and the ``max_events`` ceiling are
+        exactly those of :meth:`step`."""
+        heap = self._heap          # heappush in schedule() mutates in place
+        heappop = heapq.heappop
+        trace = self._trace
+        max_events = self._max_events
+        processed = self._events_processed
+        # ``_events_processed`` is kept in a local and written back when
+        # the loop exits (or an event raises): one store per event saved,
+        # at the cost of the attribute being stale *while a callback
+        # runs* — nothing in the tree reads it mid-event, and the
+        # instrumented ``step()`` path keeps exact per-event updates.
+        try:
+            if trace is None:
+                while heap:
+                    time, _key, fn, _label = heappop(heap)
+                    self._now = time
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationLimitExceeded(
+                            f"exceeded max_events={max_events} at t={time:.9f}s"
+                        )
+                    fn()
+            else:
+                while heap:
+                    time, _key, fn, label = heappop(heap)
+                    self._now = time
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationLimitExceeded(
+                            f"exceeded max_events={max_events} at t={time:.9f}s"
+                        )
+                    if label:
+                        trace(time, label)
+                    fn()
+        finally:
+            self._events_processed = processed

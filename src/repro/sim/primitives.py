@@ -17,6 +17,7 @@ Three primitives cover everything the PGAS runtime needs:
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Callable, Optional
 
 from .engine import Engine
@@ -141,16 +142,27 @@ class Cell:
         return self._value
 
     def _check_watchers(self) -> None:
-        if not self._watchers:
+        # Watcher keys come from a monotonic counter and dicts preserve
+        # insertion order, so plain iteration visits watchers in exactly
+        # the registration order the old ``sorted()`` produced — without
+        # sorting on every write.  Sync cells almost always have 0 or 1
+        # watchers, so those cases take dedicated early-outs.
+        watchers = self._watchers
+        if not watchers:
+            return
+        if len(watchers) == 1:
+            key, (pred, cb) = next(iter(watchers.items()))
+            if pred(self._value):
+                del watchers[key]
+                cb(self._value)
             return
         # Snapshot: callbacks may register new watchers or write the cell.
-        for key in sorted(self._watchers):
-            entry = self._watchers.get(key)
-            if entry is None:
-                continue
+        for key, entry in list(watchers.items()):
+            if key not in watchers:
+                continue  # removed by an earlier callback this pass
             pred, cb = entry
             if pred(self._value):
-                del self._watchers[key]
+                del watchers[key]
                 cb(self._value)
 
     def wait_until(
@@ -191,7 +203,9 @@ class Resource:
         self._engine = engine
         self.capacity = capacity
         self._in_use = 0
-        self._queue: list[SimEvent] = []
+        # deque: grants pop from the left in O(1); a list's pop(0) is O(n)
+        # and showed up under contention (every NIC gap on a busy node).
+        self._queue: deque[SimEvent] = deque()
         self.name = name
         self._granted = 0
         self._peak = 0
@@ -230,7 +244,7 @@ class Resource:
         if self._in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
         if self._queue:
-            nxt = self._queue.pop(0)
+            nxt = self._queue.popleft()
             self._granted += 1
             nxt.trigger()
         else:

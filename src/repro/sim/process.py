@@ -121,17 +121,58 @@ class Process:
     reports use it to name images.  Anonymous processes pass ``None``.
     """
 
+    __slots__ = ("_engine", "_gen", "_send", "name", "actor", "done",
+                 "_blocked_token", "_finished", "_timeout_label",
+                 "_resume_none")
+
     def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc",
                  actor: Optional[Any] = None):
         self._engine = engine
         self._gen = gen
+        self._send = gen.send  # bound once; resumed on every step
         self.name = name
         self.actor = actor
         self.done = SimEvent(engine, name=f"{name}.done")
         self._blocked_token: Optional[int] = None
         self._finished = False
+        # A process has at most one outstanding resume (it drives a single
+        # generator), so one reusable callback and one preformatted label
+        # serve every Timeout it ever yields.  The monitor-off body of
+        # ``_step(None)`` is inlined here: a Timeout resume is the single
+        # hottest edge in the simulator, and the closure saves a call frame
+        # plus the attribute hops (generator send, engine, schedule, label
+        # all live in cells).  ``_step`` stays the reference path for
+        # value-carrying resumes and monitored runs.
+        timeout_label = f"{name}.timeout"
+        self._timeout_label = timeout_label
+        send = gen.send
+        schedule = engine.schedule
+
+        def _resume_none() -> None:
+            if engine.monitor is not None:
+                self._step_monitored(None, engine.monitor)
+                return
+            try:
+                command = send(None)
+            except StopIteration as stop:
+                self._finished = True
+                self.done.trigger(stop.value)
+                return
+            except Exception as exc:  # noqa: BLE001 - wrap any model bug
+                self._finished = True
+                raise ProcessFailure(self.name, exc) from exc
+            if type(command) is Timeout:
+                schedule(command.delay, _resume_none, label=timeout_label)
+                return
+            handler = _DISPATCH.get(type(command))
+            if handler is None:
+                self._dispatch_other(command)
+            else:
+                handler(self, command)
+
+        self._resume_none = _resume_none
         # Start at the current instant so spawn order = first-step order.
-        engine.call_now(lambda: self._step(None), label=f"{name}.start")
+        engine.call_now(_resume_none, label=f"{name}.start")
 
     @property
     def finished(self) -> bool:
@@ -142,12 +183,14 @@ class Process:
         return self.done.value
 
     # ------------------------------------------------------------------
-    def _mark_blocked(self, why: str, kind: str = "", target: Any = None) -> None:
-        info = None
-        if kind:
-            info = BlockedInfo(self.name, self.actor, kind, target)
+    def _mark_blocked(self, verb: str, noun: str, kind: str, target: Any) -> None:
+        """Register this process as blocked.  Both the human-readable
+        description (``"imageN: waiting on cell 'x'"``) and the structured
+        :class:`BlockedInfo` record are deferred behind closures — they are
+        only materialized if the run actually deadlocks."""
         self._blocked_token = self._engine.note_blocked(
-            f"{self.name}: {why}", info=info
+            lambda: f"{self.name}: {verb} {noun} {target.name!r}",
+            info=lambda: BlockedInfo(self.name, self.actor, kind, target),
         )
 
     def _resume(self, value: Any) -> None:
@@ -159,9 +202,36 @@ class Process:
     def _step(self, send_value: Any) -> None:
         monitor = self._engine.monitor
         if monitor is not None:
-            monitor.begin_step(self.actor)
+            self._step_monitored(send_value, monitor)
+            return
         try:
-            command = self._gen.send(send_value)
+            command = self._send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - wrap and surface any model bug
+            self._finished = True
+            raise ProcessFailure(self.name, exc) from exc
+        # Timeout is the dominant command (every charged cost is one), so
+        # it is tested inline before the dispatch-table lookup.
+        if type(command) is Timeout:
+            self._engine.schedule(
+                command.delay, self._resume_none, label=self._timeout_label
+            )
+            return
+        handler = _DISPATCH.get(type(command))
+        if handler is None:
+            self._dispatch_other(command)
+        else:
+            handler(self, command)
+
+    def _step_monitored(self, send_value: Any, monitor: Any) -> None:
+        """Slow-path step: bracket the generator resume with the
+        concurrency monitor's begin/end hooks (see ``repro.verify``)."""
+        monitor.begin_step(self.actor)
+        try:
+            command = self._send(send_value)
         except StopIteration as stop:
             self._finished = True
             self.done.trigger(stop.value)
@@ -170,44 +240,71 @@ class Process:
             self._finished = True
             raise ProcessFailure(self.name, exc) from exc
         finally:
-            if monitor is not None:
-                monitor.end_step()
-        self._dispatch(command)
+            monitor.end_step()
+        handler = _DISPATCH.get(type(command))
+        if handler is None:
+            self._dispatch_other(command)
+        else:
+            handler(self, command)
 
     def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Timeout):
-            self._engine.schedule(
-                command.delay, lambda: self._step(None), label=f"{self.name}.timeout"
-            )
-        elif isinstance(command, Wait):
-            ev = command.event
-            if not ev.triggered:
-                self._mark_blocked(f"waiting on event {ev.name!r}", "event", ev)
-            ev.on_trigger(self._observing_resume("event", ev))
-        elif isinstance(command, WaitFor):
-            cell, pred = command.cell, command.pred
-            if not pred(cell.value):
-                self._mark_blocked(f"waiting on cell {cell.name!r}", "cell", cell)
-            cell.wait_until(pred, self._observing_resume("cell", cell))
-        elif isinstance(command, Acquire):
-            res = command.resource
-            grant = res.acquire()
-            if not grant.triggered:
-                self._mark_blocked(f"acquiring resource {res.name!r}",
-                                   "resource", res)
-            grant.on_trigger(self._resume)
-        elif isinstance(command, Hold):
-            res, dur = command.resource, command.duration
-            done = res.occupy(dur)
-            if not done.triggered:
-                self._mark_blocked(f"holding resource {res.name!r}",
-                                   "resource", res)
-            done.on_trigger(self._resume)
+        """Execute one yielded command (type-keyed; kept as the single
+        entry point for tests and subclasses)."""
+        handler = _DISPATCH.get(type(command))
+        if handler is None:
+            self._dispatch_other(command)
         else:
-            raise ProcessFailure(
-                self.name,
-                TypeError(f"process yielded non-command object {command!r}"),
-            )
+            handler(self, command)
+
+    # -- per-command handlers (type-keyed via _DISPATCH) ----------------
+    def _do_timeout(self, command: Timeout) -> None:
+        self._engine.schedule(
+            command.delay, self._resume_none, label=self._timeout_label
+        )
+
+    def _do_wait(self, command: Wait) -> None:
+        ev = command.event
+        if not ev.triggered:
+            self._mark_blocked("waiting on", "event", "event", ev)
+        if self._engine.monitor is None:
+            ev.on_trigger(self._resume)
+        else:
+            ev.on_trigger(self._observing_resume("event", ev))
+
+    def _do_wait_for(self, command: WaitFor) -> None:
+        cell, pred = command.cell, command.pred
+        if not pred(cell.value):
+            self._mark_blocked("waiting on", "cell", "cell", cell)
+        if self._engine.monitor is None:
+            cell.wait_until(pred, self._resume)
+        else:
+            cell.wait_until(pred, self._observing_resume("cell", cell))
+
+    def _do_acquire(self, command: Acquire) -> None:
+        res = command.resource
+        grant = res.acquire()
+        if not grant.triggered:
+            self._mark_blocked("acquiring", "resource", "resource", res)
+        grant.on_trigger(self._resume)
+
+    def _do_hold(self, command: Hold) -> None:
+        res, dur = command.resource, command.duration
+        done = res.occupy(dur)
+        if not done.triggered:
+            self._mark_blocked("holding", "resource", "resource", res)
+        done.on_trigger(self._resume)
+
+    def _dispatch_other(self, command: Any) -> None:
+        """Fallback for command *subclasses* (exact-type dispatch missed)
+        and the non-command error path."""
+        for cls, handler in _DISPATCH.items():
+            if isinstance(command, cls):
+                handler(self, command)
+                return
+        raise ProcessFailure(
+            self.name,
+            TypeError(f"process yielded non-command object {command!r}"),
+        )
 
     def _observing_resume(self, kind: str, target: Any) -> Callable[[Any], None]:
         """A resume callback that first tells the monitor (if any) that this
@@ -226,3 +323,15 @@ class Process:
             self._resume(value)
 
         return _resume_observed
+
+
+#: Exact-type command dispatch: one dict hit replaces the historical
+#: five-branch ``isinstance`` ladder on the per-event hot path.  Command
+#: subclasses still work via :meth:`Process._dispatch_other`.
+_DISPATCH: dict = {
+    Timeout: Process._do_timeout,
+    Wait: Process._do_wait,
+    WaitFor: Process._do_wait_for,
+    Acquire: Process._do_acquire,
+    Hold: Process._do_hold,
+}

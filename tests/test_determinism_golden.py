@@ -1,0 +1,116 @@
+"""Golden event-label traces: the fast path must not change the schedule.
+
+The kernel fast path (closure ``schedule``, 4-tuple records, inlined
+run loop, type-keyed command dispatch, insertion-ordered watchers) is
+only admissible because it is *byte-identical* to the reference
+behaviour on the default path.  These tests pin that down: a 2×4 TDLB
+barrier run and a co_sum run each replay a golden ``(time, label)``
+trace — same events, same order, same timestamps — and the trace is
+invariant under the concurrency monitor (which must observe, never
+perturb).  The jittered ``tiebreak_seed`` path stays functional and
+still converges to the same semantic results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.machine import build_machine, paper_cluster
+from repro.runtime.program import run_spmd
+from repro.sim import Engine
+from repro.verify import HBMonitor
+
+NUM_IMAGES = 8
+IMAGES_PER_NODE = 4  # 2 nodes x 4 images
+
+
+def _barrier_main(ctx, iters):
+    for _ in range(iters):
+        yield from ctx.sync_all()
+    return ctx.this_image()
+
+
+def _co_sum_main(ctx):
+    total = yield from ctx.co_sum(ctx.this_image())
+    return total
+
+
+def _traced_run(main, args=(), monitor=None, tiebreak_seed=None):
+    """Run ``main`` SPMD on the 2x4 machine, recording every labeled event."""
+    trace: list = []
+    kwargs = {}
+    if tiebreak_seed is not None:
+        kwargs["tiebreak_seed"] = tiebreak_seed
+    engine = Engine(trace=lambda t, label: trace.append((t, label)), **kwargs)
+    machine = build_machine(
+        engine, paper_cluster(2), NUM_IMAGES, images_per_node=IMAGES_PER_NODE
+    )
+    result = run_spmd(main, machine=machine, args=args, monitor=monitor)
+    return trace, result
+
+
+def _digest(trace) -> str:
+    h = hashlib.sha256()
+    for t, label in trace:
+        h.update(f"{t!r} {label}\n".encode())
+    return h.hexdigest()
+
+
+# Golden constants for the default (insertion-order) path.  If a change
+# moves these, it changed the simulated schedule: that is a correctness
+# event, not a perf event, and needs its own justification.
+GOLDEN_BARRIER_DIGEST = (
+    "177bcc8723976cc352324ed13e49fb9e3099234b97b74338bff684fceb9fb53b"
+)
+GOLDEN_BARRIER_EVENTS = 134
+GOLDEN_COSUM_DIGEST = (
+    "f98e30339ca90fc6a4e3a77bf2e31ae158289e04e7e482ffd4da24982116ce24"
+)
+GOLDEN_COSUM_EVENTS = 54
+
+
+class TestGoldenBarrierTrace:
+    def test_matches_golden_digest(self):
+        trace, result = _traced_run(_barrier_main, args=(3,))
+        assert _digest(trace) == GOLDEN_BARRIER_DIGEST
+        assert len(trace) == GOLDEN_BARRIER_EVENTS
+        assert result.results == list(range(1, NUM_IMAGES + 1))
+
+    def test_monitor_does_not_perturb_schedule(self):
+        bare, _ = _traced_run(_barrier_main, args=(3,))
+        observed, _ = _traced_run(_barrier_main, args=(3,), monitor=HBMonitor())
+        assert observed == bare
+
+    def test_repeat_runs_are_byte_identical(self):
+        first, r1 = _traced_run(_barrier_main, args=(3,))
+        second, r2 = _traced_run(_barrier_main, args=(3,))
+        assert first == second
+        assert r1.time == r2.time
+
+    def test_jittered_path_still_works(self):
+        # Schedule fuzzing permutes same-instant events; the semantic
+        # results and completion must survive any such permutation.
+        jittered, result = _traced_run(_barrier_main, args=(3,), tiebreak_seed=7)
+        assert result.results == list(range(1, NUM_IMAGES + 1))
+        assert len(jittered) > 0
+
+
+class TestGoldenCoSumTrace:
+    def test_matches_golden_digest(self):
+        trace, result = _traced_run(_co_sum_main)
+        assert _digest(trace) == GOLDEN_COSUM_DIGEST
+        assert len(trace) == GOLDEN_COSUM_EVENTS
+        expected = sum(range(1, NUM_IMAGES + 1))
+        assert result.results == [expected] * NUM_IMAGES
+
+    def test_monitor_does_not_perturb_schedule(self):
+        bare, _ = _traced_run(_co_sum_main)
+        observed, _ = _traced_run(_co_sum_main, monitor=HBMonitor())
+        assert observed == bare
+
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_jittered_path_preserves_semantics(self, seed):
+        _, result = _traced_run(_co_sum_main, tiebreak_seed=seed)
+        assert result.results == [sum(range(1, NUM_IMAGES + 1))] * NUM_IMAGES
