@@ -43,7 +43,9 @@ def _caf(config):
 
 def _mpi(tuning):
     def fn(images, nodes):
-        return mpi_barrier_benchmark(images, images_per_node=IPN, tuning=tuning)
+        return mpi_barrier_benchmark(
+            images, images_per_node=IPN, tuning=tuning
+        ).seconds_per_op
 
     return fn
 

@@ -11,6 +11,11 @@ results (see DESIGN.md §4 for the experiment index).  The pattern:
   simulator's own performance).
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+The sweep cells inside each module are independent simulations routed
+through :func:`repro.exec.run_tasks`, so ``REPRO_JOBS=auto pytest
+benchmarks/ ...`` fans them across worker processes (tables unchanged;
+see docs/parallel.md).
 """
 
 from __future__ import annotations

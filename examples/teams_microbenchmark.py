@@ -34,7 +34,7 @@ def barrier_table(configs, ipn):
 
     def mpi(tuning):
         return lambda images, nodes: mpi_barrier_benchmark(
-            images, images_per_node=ipn, tuning=tuning)
+            images, images_per_node=ipn, tuning=tuning).seconds_per_op
 
     return sweep(
         f"Barrier latency, {ipn} image(s) per node",

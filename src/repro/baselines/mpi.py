@@ -142,6 +142,13 @@ class MpiContext:
     def now(self) -> float:
         return self.world.engine.now
 
+    @property
+    def machine(self):
+        """The simulated machine (traffic counters etc.), mirroring
+        :class:`~repro.runtime.program.CafContext` so benchmark bodies
+        run unchanged on either stack."""
+        return self.world.machine
+
     def rank(self, comm: Optional[Communicator] = None) -> int:
         comm = comm or self.comm_world
         return comm.rank_of_proc(self.proc)

@@ -6,15 +6,22 @@
     python -m repro.bench hpl                # E5 (Figure 1; ~1.5 min)
     python -m repro.bench hpl --quick        # reduced Figure 1
     python -m repro.bench all                # everything above
+    python -m repro.bench all -j auto        # sweep cells in parallel
 
 (The ablation experiments E6–E10 live in ``benchmarks/`` and run under
 ``pytest benchmarks/ --benchmark-only -s``, where their assertions guard
 the reproduction's shape criteria.)
+
+Every sweep cell is an independent simulation, so ``-j``/``--jobs``
+(or ``REPRO_JOBS=auto``) fans them across worker processes; tables are
+identical to a sequential run.  The cell callables are module-level
+partials — picklable on purpose, so they actually reach the workers.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 from ..runtime.config import (
@@ -22,6 +29,7 @@ from ..runtime.config import (
     GASNET_IB_DISSEMINATION,
     UHCAF_1LEVEL,
     UHCAF_2LEVEL,
+    RuntimeConfig,
 )
 from .hplbench import figure1
 from .microbench import (
@@ -33,16 +41,41 @@ from .microbench import (
 )
 
 
-def _run_barrier(nodes: list[int], ipn: int) -> None:
+# ----------------------------------------------------------------------
+# Sweep cells — module level (not closures) so they pickle into workers.
+# ----------------------------------------------------------------------
+def _barrier_cell(config: RuntimeConfig, ipn: int,
+                  images: int, nodes: int) -> float:
+    return barrier_benchmark(images, ipn, config).seconds_per_op
+
+
+def _mpi_barrier_cell(tuning: str, ipn: int, images: int, nodes: int) -> float:
+    return mpi_barrier_benchmark(images, ipn, tuning).seconds_per_op
+
+
+def _reduce_cell(config: RuntimeConfig, ipn: int, nelems: int,
+                 images: int, nodes: int) -> float:
+    return reduce_benchmark(images, ipn, config,
+                            nelems=nelems).seconds_per_op
+
+
+def _broadcast_cell(config: RuntimeConfig, ipn: int, nelems: int,
+                    images: int, nodes: int) -> float:
+    return broadcast_benchmark(images, ipn, config,
+                               nelems=nelems).seconds_per_op
+
+
+def _run_barrier(nodes: list[int], ipn: int, jobs=None) -> None:
     flat = sweep(
         "E1: barrier latency, 1 image per node (flat hierarchy)",
         configs=[(n, n) for n in nodes],
         systems=[
             ("TDLB (UHCAF 2level)",
-             lambda i, n: barrier_benchmark(i, 1, UHCAF_2LEVEL).seconds_per_op),
+             functools.partial(_barrier_cell, UHCAF_2LEVEL, 1)),
             ("pure dissemination (UHCAF 1level)",
-             lambda i, n: barrier_benchmark(i, 1, UHCAF_1LEVEL).seconds_per_op),
+             functools.partial(_barrier_cell, UHCAF_1LEVEL, 1)),
         ],
+        jobs=jobs,
     )
     print(flat.render())
     print()
@@ -51,55 +84,53 @@ def _run_barrier(nodes: list[int], ipn: int) -> None:
         configs=[(n * ipn, n) for n in nodes],
         systems=[
             ("TDLB (UHCAF 2level)",
-             lambda i, n: barrier_benchmark(i, ipn, UHCAF_2LEVEL).seconds_per_op),
+             functools.partial(_barrier_cell, UHCAF_2LEVEL, ipn)),
             ("UHCAF pure dissemination",
-             lambda i, n: barrier_benchmark(i, ipn, UHCAF_1LEVEL).seconds_per_op),
+             functools.partial(_barrier_cell, UHCAF_1LEVEL, ipn)),
             ("GASNet IB dissemination",
-             lambda i, n: barrier_benchmark(
-                 i, ipn, GASNET_IB_DISSEMINATION).seconds_per_op),
+             functools.partial(_barrier_cell, GASNET_IB_DISSEMINATION, ipn)),
             ("CAF 2.0",
-             lambda i, n: barrier_benchmark(i, ipn, CAF20_OPENUH).seconds_per_op),
+             functools.partial(_barrier_cell, CAF20_OPENUH, ipn)),
             ("MPI MVAPICH",
-             lambda i, n: mpi_barrier_benchmark(i, ipn, "mvapich")),
+             functools.partial(_mpi_barrier_cell, "mvapich", ipn)),
             ("MPI Open MPI hierarch",
-             lambda i, n: mpi_barrier_benchmark(i, ipn, "openmpi-hierarch")),
+             functools.partial(_mpi_barrier_cell, "openmpi-hierarch", ipn)),
         ],
+        jobs=jobs,
     )
     print(hier.render())
     print()
     print(hier.speedup_row("TDLB (UHCAF 2level)", "UHCAF pure dissemination"))
 
 
-def _run_reduce(nodes: list[int], ipn: int, nelems: int) -> None:
+def _run_reduce(nodes: list[int], ipn: int, nelems: int, jobs=None) -> None:
     table = sweep(
         f"E3: co_sum latency, {nelems} element(s), {ipn} images per node",
         configs=[(n * ipn, n) for n in nodes],
         systems=[
             ("two-level reduction",
-             lambda i, n: reduce_benchmark(
-                 i, ipn, UHCAF_2LEVEL, nelems=nelems).seconds_per_op),
+             functools.partial(_reduce_cell, UHCAF_2LEVEL, ipn, nelems)),
             ("default UHCAF reduction",
-             lambda i, n: reduce_benchmark(
-                 i, ipn, UHCAF_1LEVEL, nelems=nelems).seconds_per_op),
+             functools.partial(_reduce_cell, UHCAF_1LEVEL, ipn, nelems)),
         ],
+        jobs=jobs,
     )
     print(table.render())
     print()
     print(table.speedup_row("two-level reduction", "default UHCAF reduction"))
 
 
-def _run_broadcast(nodes: list[int], ipn: int, nelems: int) -> None:
+def _run_broadcast(nodes: list[int], ipn: int, nelems: int, jobs=None) -> None:
     table = sweep(
         f"E4: co_broadcast latency, {nelems} element(s), {ipn} images per node",
         configs=[(n * ipn, n) for n in nodes],
         systems=[
             ("two-level broadcast",
-             lambda i, n: broadcast_benchmark(
-                 i, ipn, UHCAF_2LEVEL, nelems=nelems).seconds_per_op),
+             functools.partial(_broadcast_cell, UHCAF_2LEVEL, ipn, nelems)),
             ("flat binomial broadcast",
-             lambda i, n: broadcast_benchmark(
-                 i, ipn, UHCAF_1LEVEL, nelems=nelems).seconds_per_op),
+             functools.partial(_broadcast_cell, UHCAF_1LEVEL, ipn, nelems)),
         ],
+        jobs=jobs,
     )
     print(table.render())
     print()
@@ -122,16 +153,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="payload elements for reduce/broadcast")
     parser.add_argument("--quick", action="store_true",
                         help="reduced HPL sweep (smaller N, fewer points)")
+    parser.add_argument("-j", "--jobs", default=None,
+                        help="worker processes for sweep cells: an integer "
+                             "or 'auto' (default: REPRO_JOBS env, else 1)")
     args = parser.parse_args(argv)
 
     if args.experiment in ("barrier", "all"):
-        _run_barrier(args.nodes, args.ipn)
+        _run_barrier(args.nodes, args.ipn, jobs=args.jobs)
         print()
     if args.experiment in ("reduce", "all"):
-        _run_reduce(args.nodes, args.ipn, args.nelems)
+        _run_reduce(args.nodes, args.ipn, args.nelems, jobs=args.jobs)
         print()
     if args.experiment in ("broadcast", "all"):
-        _run_broadcast(args.nodes, args.ipn, args.nelems)
+        _run_broadcast(args.nodes, args.ipn, args.nelems, jobs=args.jobs)
         print()
     if args.experiment in ("hpl", "all"):
         table = figure1(quick=args.quick)

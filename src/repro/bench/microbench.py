@@ -11,20 +11,27 @@ cluster shape (nodes × images-per-node), for every compared system:
 * MPI tunings (MVAPICH, Open MPI, Open MPI hierarch) via
   :func:`repro.baselines.mpi.run_mpi`.
 
-Timing protocol: two warm-up operations (populating lazily allocated
-synchronization cells, as a real runtime faults in its buffers), then
-``iters`` timed operations; the reported figure is the per-operation
-mean of the slowest image — the standard way collective latency is
-quoted.
+Timing protocol (shared by every benchmark via :func:`_timed`): two
+warm-up operations (populating lazily allocated synchronization cells,
+as a real runtime faults in its buffers), then ``iters`` timed
+operations; the reported figure is the per-operation mean of the
+slowest image — the standard way collective latency is quoted — plus
+per-operation fabric traffic from the machine's counters.
 
 Optionally the collective runs on a *subteam* (``team_fraction``) to
 exercise the team machinery rather than the initial team.
+
+:func:`sweep` drives a grid of such measurements; cells are independent
+simulations, so the grid can fan out across worker processes
+(``jobs``, or the ``REPRO_JOBS`` environment variable — see
+docs/parallel.md), and a cell that raises is reported as a failed cell
+in the table instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +62,36 @@ class MicrobenchResult:
     traffic_per_op: TrafficSnapshot
 
 
+def _timed(ctx, op: Callable[[], Iterator], iters: int) -> Iterator:
+    """The one warmup+timing loop every benchmark body shares.
+
+    Two warm-up operations, then a traffic mark and ``iters`` timed
+    ones; returns ``(elapsed_simulated_seconds, traffic_mark)``.
+    """
+    for _ in range(WARMUP):
+        yield from op()
+    mark = ctx.machine.traffic()
+    t0 = ctx.now
+    for _ in range(iters):
+        yield from op()
+    return ctx.now - t0, mark
+
+
+def _per_op(
+    per_image_times: Sequence[float], traffic: TrafficSnapshot, iters: int
+) -> MicrobenchResult:
+    """Scale a timed window down to per-operation figures."""
+    scaled = TrafficSnapshot(
+        inter_messages=traffic.inter_messages // iters,
+        inter_bytes=traffic.inter_bytes // iters,
+        intra_messages=traffic.intra_messages // iters,
+        intra_bytes=traffic.intra_bytes // iters,
+    )
+    return MicrobenchResult(
+        seconds_per_op=max(per_image_times) / iters, traffic_per_op=scaled
+    )
+
+
 def _run_caf(
     body: Callable, num_images: int, images_per_node: int,
     config: RuntimeConfig, spec: Optional[MachineSpec], iters: int,
@@ -66,16 +103,7 @@ def _run_caf(
         spec=spec, config=config,
     )
     per_image_times, traffic_marks = zip(*result.results)
-    start_traffic = traffic_marks[0]
-    per_op = max(per_image_times) / iters
-    traffic = result.traffic - start_traffic
-    scaled = TrafficSnapshot(
-        inter_messages=traffic.inter_messages // iters,
-        inter_bytes=traffic.inter_bytes // iters,
-        intra_messages=traffic.intra_messages // iters,
-        intra_bytes=traffic.intra_bytes // iters,
-    )
-    return MicrobenchResult(seconds_per_op=per_op, traffic_per_op=scaled)
+    return _per_op(per_image_times, result.traffic - traffic_marks[0], iters)
 
 
 def _subteam(ctx, team_fraction: float):
@@ -99,13 +127,7 @@ def barrier_benchmark(
 
     def body(ctx):
         yield from _subteam(ctx, team_fraction)
-        for _ in range(WARMUP):
-            yield from ctx.sync_all()
-        mark = ctx.machine.traffic()
-        t0 = ctx.now
-        for _ in range(iters):
-            yield from ctx.sync_all()
-        return (ctx.now - t0, mark)
+        return (yield from _timed(ctx, ctx.sync_all, iters))
 
     return _run_caf(body, num_images, images_per_node, config, spec, iters)
 
@@ -120,13 +142,7 @@ def reduce_benchmark(
     def body(ctx):
         yield from _subteam(ctx, team_fraction)
         value = np.full(nelems, float(ctx.this_image()))
-        for _ in range(WARMUP):
-            yield from ctx.co_sum(value)
-        mark = ctx.machine.traffic()
-        t0 = ctx.now
-        for _ in range(iters):
-            yield from ctx.co_sum(value)
-        return (ctx.now - t0, mark)
+        return (yield from _timed(ctx, lambda: ctx.co_sum(value), iters))
 
     return _run_caf(body, num_images, images_per_node, config, spec, iters)
 
@@ -141,13 +157,8 @@ def broadcast_benchmark(
     def body(ctx):
         yield from _subteam(ctx, team_fraction)
         value = np.full(nelems, float(ctx.this_image()))
-        for _ in range(WARMUP):
-            yield from ctx.co_broadcast(value, source_image=1)
-        mark = ctx.machine.traffic()
-        t0 = ctx.now
-        for _ in range(iters):
-            yield from ctx.co_broadcast(value, source_image=1)
-        return (ctx.now - t0, mark)
+        return (yield from _timed(
+            ctx, lambda: ctx.co_broadcast(value, source_image=1), iters))
 
     return _run_caf(body, num_images, images_per_node, config, spec, iters)
 
@@ -155,24 +166,26 @@ def broadcast_benchmark(
 def mpi_barrier_benchmark(
     num_ranks: int, images_per_node: int, tuning: str,
     spec: Optional[MachineSpec] = None, iters: int = DEFAULT_ITERS,
-) -> float:
-    """Time MPI_Barrier under one of the MPI tunings; returns seconds/op."""
+) -> MicrobenchResult:
+    """Time MPI_Barrier under one of the MPI tunings.
+
+    Same protocol and result shape as the CAF benchmarks (latency of the
+    slowest rank plus per-operation traffic), so MPI rows are directly
+    comparable — including in the notification-count ablations.
+    """
     if tuning not in MPI_TUNINGS:
         raise ValueError(f"unknown tuning {tuning!r}")
 
     def body(ctx):
-        for _ in range(WARMUP):
-            yield from ctx.barrier()
-        t0 = ctx.now
-        for _ in range(iters):
-            yield from ctx.barrier()
-        return ctx.now - t0
+        return (yield from _timed(ctx, ctx.barrier, iters))
 
     if spec is None:
         spec = paper_cluster(max(-(-num_ranks // images_per_node), 1))
     res = run_mpi(body, num_ranks=num_ranks, images_per_node=images_per_node,
                   spec=spec, tuning=tuning)
-    return max(res.results) / iters
+    per_image_times, traffic_marks = zip(*res.results)
+    traffic = res.world.machine.traffic() - traffic_marks[0]
+    return _per_op(per_image_times, traffic, iters)
 
 
 def sweep(
@@ -181,14 +194,34 @@ def sweep(
     systems: Sequence[Tuple[str, Callable[[int, int], float]]],
     unit: str = "us",
     scale: float = 1e6,
+    jobs=None,
 ) -> ResultTable:
     """Run ``fn(images, nodes) → seconds`` for every system over every
-    ``(images, nodes)`` configuration; returns the rendered-ready table."""
+    ``(images, nodes)`` configuration; returns the rendered-ready table.
+
+    Cells run through :func:`repro.exec.run_tasks`: independent, fanned
+    across workers when ``jobs`` (or ``REPRO_JOBS``) asks for it, and
+    fault-isolated — a raising cell becomes a ``FAIL`` annotation in
+    its series (with the reason listed under the table) while the rest
+    of the sweep completes.
+    """
+    from ..exec import TaskSpec, run_tasks
+
     labels = [config_label(i, n) for i, n in configs]
     table = ResultTable(title=title, labels=labels, unit=unit)
+    tasks = [
+        TaskSpec(fn, (images, nodes), label=f"{name} @ {label}")
+        for name, fn in systems
+        for (images, nodes), label in zip(configs, labels)
+    ]
+    outcomes = iter(run_tasks(tasks, jobs=jobs))
     for name, fn in systems:
         series = Series(name=name, unit=unit)
-        for (images, nodes), label in zip(configs, labels):
-            series.add(label, fn(images, nodes) * scale)
+        for label in labels:
+            tres = next(outcomes)
+            if tres.ok:
+                series.add(label, tres.value * scale)
+            else:
+                series.mark_failed(label, tres.error or "failed")
         table.add_series(series)
     return table

@@ -26,9 +26,15 @@ class Series:
     name: str
     values: Dict[str, float] = field(default_factory=dict)
     unit: str = "us"
+    #: cells whose measurement raised, label → reason (rendered ``FAIL``;
+    #: the rest of the sweep is unaffected)
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def add(self, label: str, value: float) -> None:
         self.values[label] = value
+
+    def mark_failed(self, label: str, reason: str) -> None:
+        self.failures[label] = reason
 
     def ratio_to(self, other: "Series") -> Dict[str, float]:
         """Per-config ``other/self`` ratios (speedup of self over other
@@ -73,9 +79,21 @@ class ResultTable:
             row = s.name.ljust(name_width)
             for lbl in self.labels:
                 val = s.values.get(lbl)
-                row += ("-".rjust(col_width) if val is None
-                        else f"{val:{col_width}.2f}")
+                if val is not None:
+                    row += f"{val:{col_width}.2f}"
+                elif lbl in s.failures:
+                    row += "FAIL".rjust(col_width)
+                else:
+                    row += "-".rjust(col_width)
             lines.append(row)
+        failed = [(s.name, lbl, reason) for s in self.series
+                  for lbl, reason in sorted(s.failures.items())]
+        if failed:
+            lines.append("")
+            lines.append("failed cells:")
+            for name, lbl, reason in failed:
+                first = reason.splitlines()[0] if reason else "failed"
+                lines.append(f"  {name} @ {lbl}: {first}")
         return "\n".join(lines)
 
     def speedup_row(self, fast: str, slow: str) -> str:

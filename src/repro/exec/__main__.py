@@ -1,0 +1,37 @@
+"""``python -m repro.exec`` — inspect or clear the run-result cache."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, source_fingerprint
+from .pool import auto_jobs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="parallel-execution layer: worker info and result cache",
+    )
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"cache root (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--clear", action="store_true",
+                        help="delete every cached result and exit")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(root=args.cache_dir, namespace="")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {args.cache_dir}")
+        return 0
+
+    print(f"workers with -j auto : {auto_jobs()}")
+    print(f"cache root           : {args.cache_dir}")
+    print(f"cached results       : {cache.entry_count()}")
+    print(f"source fingerprint   : {source_fingerprint()[:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""On-disk result cache keyed by task content + source fingerprints.
+
+A cache entry answers: "this exact callable, with these exact arguments,
+under this exact version of the simulator's source tree, produced this
+value".  The key is a sha256 over
+
+* the task fingerprint (:func:`repro.exec.task.stable_fingerprint` —
+  callable reference plus a content-stable rendering of the arguments),
+* the **source fingerprint** — a digest over every ``*.py`` file under
+  the configured source roots (default: the installed ``repro``
+  package), so editing any simulator/runtime/collective source
+  invalidates every entry at once, and
+* a format version, bumped when the entry layout changes.
+
+Entries live under ``.repro-cache/<namespace>/<key[:2]>/<key>.pkl`` as
+pickled blobs, written atomically (temp file + rename) so a crashed or
+concurrent run never leaves a torn entry.  Unreadable or unpicklable
+entries are treated as misses and dropped — the cache is strictly an
+accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+from .task import PICKLE_PROTOCOL, TaskSpec, UnstableFingerprint, stable_fingerprint
+
+__all__ = ["ResultCache", "source_fingerprint", "DEFAULT_CACHE_DIR"]
+
+#: default cache root, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bump to orphan every existing entry on a layout change
+_FORMAT_VERSION = 1
+
+#: memoized source fingerprints: roots tuple -> digest
+_FP_MEMO: dict = {}
+
+
+def _default_roots() -> Tuple[str, ...]:
+    import repro
+    return (str(Path(repro.__file__).resolve().parent),)
+
+
+def source_fingerprint(roots: Optional[Sequence[os.PathLike]] = None) -> str:
+    """Digest of every ``*.py`` file under ``roots`` (path + content).
+
+    Memoized per root set for the life of the process: the harness
+    hashes ~10^2 files once, not once per task.
+    """
+    key = tuple(str(Path(r).resolve()) for r in roots) if roots else _default_roots()
+    cached = _FP_MEMO.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for root in key:
+        base = Path(root)
+        files: Iterable[Path] = (
+            sorted(base.rglob("*.py")) if base.is_dir()
+            else ([base] if base.exists() else [])
+        )
+        for path in files:
+            rel = path.relative_to(base) if base.is_dir() else path.name
+            digest.update(str(rel).encode())
+            digest.update(path.read_bytes())
+    value = digest.hexdigest()
+    _FP_MEMO[key] = value
+    return value
+
+
+def invalidate_fingerprint_memo() -> None:
+    """Forget memoized source fingerprints (tests edit source files)."""
+    _FP_MEMO.clear()
+
+
+class ResultCache:
+    """Content-addressed store of task results under ``root``."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        namespace: str = "exec",
+        source_roots: Optional[Sequence[os.PathLike]] = None,
+    ):
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        self.namespace = namespace
+        self.source_roots = source_roots
+        # counters for reporting ("cache: 99/110 hit")
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        #: tasks that could not be keyed (unstable arguments) — executed
+        #: normally, never cached
+        self.unkeyed = 0
+
+    # ------------------------------------------------------------------
+    def _dir(self) -> Path:
+        return self.root / self.namespace
+
+    def _path(self, key: str) -> Path:
+        return self._dir() / key[:2] / f"{key}.pkl"
+
+    def task_key(self, task: TaskSpec) -> Optional[str]:
+        """Full cache key for ``task``; None when it cannot be keyed."""
+        try:
+            fp = stable_fingerprint(task)
+        except UnstableFingerprint:
+            self.unkeyed += 1
+            return None
+        material = f"v{_FORMAT_VERSION}|{fp}|{source_fingerprint(self.source_roots)}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` — a corrupt entry counts as a miss and is
+        removed."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value``; returns False (and stores nothing) when the
+        value itself cannot be pickled."""
+        try:
+            blob = pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+        except Exception:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.puts += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        base = self._dir()
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.rglob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete this namespace's entries; returns how many went."""
+        removed = 0
+        base = self._dir()
+        if base.is_dir():
+            for path in base.rglob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        looked = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "namespace": self.namespace,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "unkeyed": self.unkeyed,
+            "hit_rate": self.hits / looked if looked else 0.0,
+        }

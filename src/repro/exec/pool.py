@@ -1,0 +1,553 @@
+"""Persistent worker-pool fan-out with deterministic result ordering.
+
+The simulation grids this repo runs (conformance matrix cells, fuzz
+seeds, benchmark sweep cells, calibration probes) are embarrassingly
+parallel: every task is an independent, deterministic, CPU-bound
+function call.  :class:`WorkerPool` fans them across a set of
+long-lived ``multiprocessing`` workers and guarantees:
+
+* **Determinism** — results come back indexed by submission order, so
+  the caller-visible output of a parallel run is identical to the
+  sequential run, regardless of completion order.
+* **Warm reuse** — workers are spawned once (``fork`` where available,
+  so the parent's imported modules come for free) and stream **chunks**
+  of tasks off a shared queue, amortizing IPC and scheduling overhead
+  across many sub-10ms simulation runs.
+* **Robustness** — a per-task timeout kills and replaces a stuck
+  worker; a crashed worker (hard exit, OOM kill) is detected, its
+  in-flight task retried once on a fresh worker, and its undispatched
+  chunk remainder requeued.  A task that raises an ordinary exception
+  is *not* retried (it is deterministic); the error text lands in its
+  :class:`~repro.exec.task.TaskResult`.
+* **Graceful degradation** — with ``jobs<=1``, with unpicklable tasks,
+  or when process spawning is unavailable (restricted sandboxes), work
+  runs inline in the parent with identical semantics.
+
+:func:`run_tasks` is the one-call façade used by the verify/bench/
+calibration harnesses; it layers the content-keyed
+:class:`~repro.exec.cache.ResultCache` in front of the pool so
+unchanged grid cells are skipped entirely on re-runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from .cache import ResultCache
+from .task import PICKLE_PROTOCOL, TaskResult, TaskSpec
+
+__all__ = ["WorkerPool", "run_tasks", "resolve_jobs", "auto_jobs"]
+
+#: environment variable consulted when a harness passes ``jobs=None``
+JOBS_ENV = "REPRO_JOBS"
+
+#: upper bound on worker count (grids rarely have >10^2 cells in flight)
+MAX_JOBS = 64
+
+#: parent poll tick while waiting on worker messages (seconds)
+_TICK = 0.05
+
+#: quiet period after which an idle pool with pending work is assumed to
+#: have lost a chunk (a worker hard-exited before its queue feeder
+#: flushed the pick/start messages) and requeues the orphans
+_STALL_S = 1.0
+
+
+def auto_jobs() -> int:
+    """Worker count for ``-j auto``: one per core, at least 1."""
+    return max(1, min(os.cpu_count() or 1, MAX_JOBS))
+
+
+def resolve_jobs(jobs) -> int:
+    """Normalize a jobs request (int, numeric string, ``"auto"``, None).
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable (so
+    long-standing drivers opt into parallelism without an API change)
+    and defaults to 1 — sequential — when that is unset.  ``"auto"``,
+    0, and negative values mean one worker per core.
+    """
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV, "").strip() or 1
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return auto_jobs()
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise ValueError(f"jobs must be an integer or 'auto', got {jobs!r}")
+    if jobs <= 0:
+        return auto_jobs()
+    return min(int(jobs), MAX_JOBS)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(slot: int, task_q, result_q) -> None:
+    """Worker loop: stream chunks, report per-task starts and results.
+
+    Every result is pre-pickled here so an unpicklable return value
+    becomes an ordinary per-task error instead of poisoning the queue.
+    """
+    # Harnesses inside a worker (e.g. fuzz_schedules within run_case)
+    # must not spawn nested pools off an inherited REPRO_JOBS.
+    os.environ[JOBS_ENV] = "1"
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            break
+        chunk_id, items = msg
+        result_q.put(("pick", slot, chunk_id))
+        for index, blob in items:
+            result_q.put(("start", slot, index))
+            t0 = time.perf_counter()
+            try:
+                fn, args, kwargs = pickle.loads(blob)
+                value = fn(*args, **kwargs)
+                payload = pickle.dumps((True, value), protocol=PICKLE_PROTOCOL)
+            except BaseException as exc:  # noqa: BLE001 — reported, not hidden
+                payload = pickle.dumps(
+                    (False, f"{type(exc).__name__}: {exc}"),
+                    protocol=PICKLE_PROTOCOL,
+                )
+            result_q.put(("done", slot, index, payload,
+                          time.perf_counter() - t0))
+        result_q.put(("free", slot, chunk_id))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    proc: object
+    #: chunk the worker announced picking up (None when idle)
+    chunk: Optional[int] = None
+    #: task currently executing, and when it started (monotonic)
+    current: Optional[int] = None
+    started: float = 0.0
+    busy_s: float = 0.0
+    tasks_done: int = 0
+
+
+@dataclass
+class _Chunk:
+    blobs: Dict[int, bytes]
+    #: indices not yet reported done (requeued if the holder dies)
+    remaining: Set[int] = field(default_factory=set)
+
+    def __post_init__(self):
+        self.remaining = set(self.blobs)
+
+
+class WorkerPool:
+    """A persistent pool; ``map`` may be called many times.
+
+    Use as a context manager (or call :meth:`close`) so workers are
+    reaped.  With ``jobs<=1`` or when worker processes cannot be
+    created, the pool is *inline*: ``map`` runs tasks in the parent and
+    every guarantee except parallelism still holds.
+    """
+
+    def __init__(self, jobs=None, *, chunk_size: Optional[int] = None,
+                 task_timeout: Optional[float] = None, retries: int = 1):
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.respawns = 0
+        self.last_wall_s = 0.0
+        self._chunk_ids = itertools.count()
+        self._workers: List[_WorkerState] = []
+        self._task_q = None
+        self._result_q = None
+        self._mp = None
+        self._broken = False
+        if self.jobs > 1:
+            self._start_workers()
+
+    # -- lifecycle -----------------------------------------------------
+    def _start_workers(self) -> None:
+        try:
+            import multiprocessing as mp
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            self._mp = mp.get_context(method)
+            self._task_q = self._mp.Queue()
+            self._result_q = self._mp.Queue()
+            for slot in range(self.jobs):
+                self._workers.append(self._spawn(slot))
+        except Exception:
+            # restricted environments (no /dev/shm, no fork): run inline
+            self._broken = True
+            self._workers = []
+
+    def _spawn(self, slot: int) -> _WorkerState:
+        proc = self._mp.Process(
+            target=_worker_main, args=(slot, self._task_q, self._result_q),
+            daemon=True, name=f"repro-exec-{slot}",
+        )
+        proc.start()
+        return _WorkerState(proc=proc)
+
+    @property
+    def inline(self) -> bool:
+        return self.jobs <= 1 or self._broken or not self._workers
+
+    def close(self) -> None:
+        if self._task_q is not None:
+            for _ in self._workers:
+                try:
+                    self._task_q.put(None)
+                except Exception:
+                    break
+            for state in self._workers:
+                state.proc.join(timeout=2.0)
+                if state.proc.is_alive():
+                    state.proc.terminate()
+                    state.proc.join(timeout=1.0)
+            self._task_q.close()
+            self._result_q.close()
+        self._workers = []
+        self._task_q = self._result_q = None
+        self._broken = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "inline": self.inline,
+            "respawns": self.respawns,
+            "wall_s": self.last_wall_s,
+            "per_worker_busy_s": [round(w.busy_s, 6) for w in self._workers],
+            "per_worker_tasks": [w.tasks_done for w in self._workers],
+        }
+
+    # -- execution -----------------------------------------------------
+    def map(self, tasks: Sequence[TaskSpec],
+            on_result: Optional[Callable[[TaskResult], None]] = None,
+            ) -> List[TaskResult]:
+        """Run every task; results indexed by submission order.
+
+        ``on_result`` is invoked **in submission order** (completions
+        are buffered), so progress output of a parallel run is
+        byte-identical to the sequential one.
+        """
+        t0 = time.perf_counter()
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        reported = 0
+
+        def settle(index: int, result: TaskResult) -> None:
+            nonlocal reported
+            results[index] = result
+            if on_result is not None:
+                while reported < len(results) and results[reported] is not None:
+                    on_result(results[reported])
+                    reported += 1
+
+        def run_one_inline(index: int, task: TaskSpec) -> None:
+            start = time.perf_counter()
+            try:
+                value = task.run_inline()
+                settle(index, TaskResult(index=index, value=value, inline=True,
+                                         attempts=1,
+                                         wall_s=time.perf_counter() - start))
+            except BaseException as exc:  # noqa: BLE001
+                settle(index, TaskResult(
+                    index=index, error=f"{type(exc).__name__}: {exc}",
+                    inline=True, attempts=1,
+                    wall_s=time.perf_counter() - start))
+
+        if self.inline:
+            for index, task in enumerate(tasks):
+                run_one_inline(index, task)
+            self.last_wall_s = time.perf_counter() - t0
+            return results  # type: ignore[return-value]
+
+        # Split into pool-able (picklable) and inline tasks.
+        blobs: Dict[int, bytes] = {}
+        inline_indices: List[int] = []
+        for index, task in enumerate(tasks):
+            try:
+                blobs[index] = task.payload()
+            except Exception:
+                inline_indices.append(index)
+
+        self._run_pooled(tasks, blobs, settle)
+        for index in inline_indices:
+            run_one_inline(index, tasks[index])
+        self.last_wall_s = time.perf_counter() - t0
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_pooled(self, tasks, blobs: Dict[int, bytes], settle) -> None:
+        if not blobs:
+            return
+        pending: Set[int] = set(blobs)
+        attempts: Dict[int, int] = {index: 0 for index in blobs}
+        dispatches: Dict[int, int] = {index: 0 for index in blobs}
+        chunks: Dict[int, _Chunk] = {}
+
+        def enqueue(indices: Sequence[int]) -> None:
+            chunk_id = next(self._chunk_ids)
+            chunk = _Chunk({i: blobs[i] for i in indices})
+            chunks[chunk_id] = chunk
+            for i in indices:
+                dispatches[i] = dispatches.get(i, 0) + 1
+            self._task_q.put((chunk_id, [(i, blobs[i]) for i in indices]))
+
+        size = self.chunk_size or max(
+            1, min(32, math.ceil(len(blobs) / (self.jobs * 4))))
+        order = sorted(blobs)
+        for lo in range(0, len(order), size):
+            enqueue(order[lo:lo + size])
+
+        def finish(index: int, result: TaskResult) -> None:
+            if index in pending:
+                pending.discard(index)
+                settle(index, result)
+
+        def fail_or_retry(index: int, why: str) -> None:
+            """A crash/timeout consumed one attempt of ``index``."""
+            if index not in pending:
+                return
+            if attempts[index] <= self.retries:
+                enqueue([index])
+            else:
+                finish(index, TaskResult(index=index, error=why,
+                                         attempts=attempts[index]))
+
+        def reap(slot: int, why: str) -> None:
+            """Kill+replace worker ``slot``; reschedule its work."""
+            state = self._workers[slot]
+            if state.proc.is_alive():
+                state.proc.terminate()
+                state.proc.join(timeout=2.0)
+            current, chunk_id = state.current, state.chunk
+            state.current = state.chunk = None
+            leftovers: List[int] = []
+            if chunk_id is not None and chunk_id in chunks:
+                leftovers = [i for i in chunks.pop(chunk_id).remaining
+                             if i in pending and i != current]
+            if leftovers:
+                enqueue(leftovers)
+            if current is not None:
+                fail_or_retry(current, why)
+            try:
+                replacement = self._spawn(slot)
+                replacement.busy_s = state.busy_s
+                replacement.tasks_done = state.tasks_done
+                self._workers[slot] = replacement
+                self.respawns += 1
+            except Exception:
+                self._broken = True
+
+        last_activity = time.monotonic()
+        while pending:
+            drained = self._drain_messages(chunks, attempts, finish)
+            now = time.monotonic()
+            if drained:
+                last_activity = now
+            else:
+                self._check_timeouts(reap)
+                self._check_deaths(reap)
+                # Stall recovery: a worker can hard-exit between taking a
+                # chunk off the queue and flushing its pick/start
+                # messages — the chunk simply vanishes.  When the pool
+                # has been completely idle for a while with work still
+                # pending, requeue every unfinished chunk (duplicate
+                # completions are idempotent: first result wins).
+                if (pending and now - last_activity > _STALL_S
+                        and all(w.current is None and w.chunk is None
+                                for w in self._workers)
+                        and all(w.proc.is_alive() for w in self._workers)):
+                    orphans: Set[int] = set()
+                    for chunk_id in list(chunks):
+                        orphans.update(i for i in chunks.pop(chunk_id).remaining
+                                       if i in pending)
+                    retry = [i for i in sorted(orphans)
+                             if dispatches.get(i, 0) <= self.retries + 1]
+                    for index in sorted(orphans.difference(retry)):
+                        finish(index, TaskResult(
+                            index=index, attempts=attempts.get(index, 0),
+                            error="worker crashed repeatedly before "
+                                  "reporting a result"))
+                    if retry:
+                        enqueue(retry)
+                    last_activity = time.monotonic()
+            if self._broken or not any(
+                    w.proc.is_alive() for w in self._workers):
+                break
+
+        # Pool died mid-run (or could not be repaired): finish inline.
+        for index in sorted(pending):
+            task = tasks[index]
+            start = time.perf_counter()
+            try:
+                value = task.run_inline()
+                finish(index, TaskResult(
+                    index=index, value=value, inline=True,
+                    attempts=attempts[index] + 1,
+                    wall_s=time.perf_counter() - start))
+            except BaseException as exc:  # noqa: BLE001
+                finish(index, TaskResult(
+                    index=index, error=f"{type(exc).__name__}: {exc}",
+                    inline=True, attempts=attempts[index] + 1,
+                    wall_s=time.perf_counter() - start))
+
+    def _drain_messages(self, chunks, attempts, finish) -> bool:
+        """Process every queued worker message; True if any arrived."""
+        import queue as _queue
+
+        drained = False
+        while True:
+            try:
+                msg = self._result_q.get(timeout=_TICK)
+            except (_queue.Empty, OSError, EOFError):
+                return drained
+            drained = True
+            kind = msg[0]
+            if kind == "pick":
+                _, slot, chunk_id = msg
+                self._workers[slot].chunk = chunk_id
+            elif kind == "start":
+                _, slot, index = msg
+                state = self._workers[slot]
+                state.current = index
+                state.started = time.monotonic()
+                attempts[index] = attempts.get(index, 0) + 1
+            elif kind == "done":
+                _, slot, index, payload, wall = msg
+                state = self._workers[slot]
+                state.current = None
+                state.busy_s += wall
+                state.tasks_done += 1
+                chunk = chunks.get(state.chunk)
+                if chunk is not None:
+                    chunk.remaining.discard(index)
+                ok, value = pickle.loads(payload)
+                result = TaskResult(
+                    index=index, attempts=attempts.get(index, 1),
+                    wall_s=wall, worker=slot,
+                    **({"value": value} if ok else {"error": value}))
+                finish(index, result)
+            elif kind == "free":
+                _, slot, chunk_id = msg
+                chunks.pop(chunk_id, None)
+                if self._workers[slot].chunk == chunk_id:
+                    self._workers[slot].chunk = None
+            # anything else: ignore (message from an already-reaped slot)
+            if self._result_q.empty():
+                return drained
+
+    def _check_timeouts(self, reap) -> None:
+        if self.task_timeout is None:
+            return
+        now = time.monotonic()
+        for slot, state in enumerate(self._workers):
+            if (state.current is not None
+                    and now - state.started > self.task_timeout):
+                reap(slot, f"task timeout after {self.task_timeout:g}s "
+                           f"(worker {slot} killed)")
+
+    def _check_deaths(self, reap) -> None:
+        for slot, state in enumerate(self._workers):
+            if not state.proc.is_alive():
+                code = state.proc.exitcode
+                reap(slot, f"worker crashed (exit code {code})")
+
+
+# ----------------------------------------------------------------------
+# Façade
+# ----------------------------------------------------------------------
+def run_tasks(
+    tasks: Sequence[TaskSpec],
+    jobs=None,
+    *,
+    cache: Optional[ResultCache] = None,
+    task_timeout: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+    pool: Optional[WorkerPool] = None,
+    stats_out: Optional[dict] = None,
+) -> List[TaskResult]:
+    """Run independent tasks through cache + pool; results in order.
+
+    The cache, when given, is consulted first: hits are returned without
+    executing anything, misses are executed (pooled or inline) and
+    stored on success.  ``progress`` fires once per task in submission
+    order.  ``stats_out`` (a dict) receives pool utilization and cache
+    counters for harness reporting.  Pass ``pool`` to reuse a warm
+    :class:`WorkerPool` across several calls.
+    """
+    t0 = time.perf_counter()
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    reported = 0
+
+    def flush(index: int, result: TaskResult) -> None:
+        nonlocal reported
+        results[index] = result
+        if progress is not None:
+            while reported < len(results) and results[reported] is not None:
+                progress(results[reported])
+                reported += 1
+
+    keys: Dict[int, str] = {}
+    misses: List[int] = []
+    for index, task in enumerate(tasks):
+        key = cache.task_key(task) if cache is not None else None
+        if key is not None:
+            keys[index] = key
+            hit, value = cache.get(key)
+            if hit:
+                flush(index, TaskResult(index=index, value=value, cached=True))
+                continue
+        misses.append(index)
+
+    # A fully-warm cache never pays pool startup: only spawn workers
+    # when there is something to execute.
+    own_pool: Optional[WorkerPool] = None
+    if misses and pool is None:
+        pool = own_pool = WorkerPool(jobs, chunk_size=chunk_size,
+                                     task_timeout=task_timeout,
+                                     retries=retries)
+    try:
+        def landed(sub: TaskResult) -> None:
+            index = misses[sub.index]
+            result = TaskResult(
+                index=index, value=sub.value, error=sub.error,
+                cached=False, inline=sub.inline, attempts=sub.attempts,
+                wall_s=sub.wall_s, worker=sub.worker)
+            if cache is not None and result.ok and index in keys:
+                cache.put(keys[index], result.value)
+            flush(index, result)
+
+        if misses:
+            pool.map([tasks[i] for i in misses], on_result=landed)
+        if stats_out is not None:
+            stats_out.update(pool.stats() if pool is not None
+                             else {"jobs": resolve_jobs(jobs), "inline": True,
+                                   "respawns": 0, "wall_s": 0.0,
+                                   "per_worker_busy_s": [],
+                                   "per_worker_tasks": []})
+            stats_out["wall_s"] = round(time.perf_counter() - t0, 6)
+            stats_out["tasks"] = len(tasks)
+            stats_out["executed"] = len(misses)
+            if cache is not None:
+                stats_out["cache"] = cache.stats()
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+    return results  # type: ignore[return-value]

@@ -12,6 +12,12 @@ Modes
 ``--baseline FILE --min-ratio R``
     Regression gate: exit 2 if the fresh engine-microbenchmark
     events/sec falls below ``R`` × the baseline file's number.
+``--harness``
+    Benchmark the run *orchestration* instead of the kernel: sequential
+    vs pooled quick conformance matrix plus a cold/warm cache cycle
+    (see :mod:`repro.perf.harness`), written to ``BENCH_HARNESS.json``.
+    ``--min-speedup R`` gates pooled speedup ≥ R — enforced only when
+    the machine has ≥ 2 cores and more than one worker was used.
 """
 
 from __future__ import annotations
@@ -131,6 +137,45 @@ def render(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def run_harness_mode(args) -> int:
+    """``--harness``: A/B the exec pool + cache, write BENCH_HARNESS.json."""
+    from .harness import DEFAULT_SEEDS, bench_harness, render_harness
+
+    entry = bench_harness(jobs=args.jobs,
+                          seeds=args.seeds or DEFAULT_SEEDS)
+    payload = {
+        "schema": "repro.perf/bench_harness/v1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "harness": entry,
+    }
+    out = args.out
+    if out == "BENCH_SIM_KERNEL.json":  # the kernel-mode default
+        out = "BENCH_HARNESS.json"
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(render_harness(entry))
+    print(f"\nwrote {out}")
+
+    if not entry["identical_results"]:
+        print("FAIL: pooled results differ from sequential", file=sys.stderr)
+        return 2
+    if args.min_speedup is not None:
+        if entry["cpu_count"] < 2 or entry["jobs"] < 2:
+            print(f"speedup gate skipped: {entry['cpu_count']} core(s), "
+                  f"{entry['jobs']} job(s) — nothing to fan out over")
+        elif entry["speedup"] < args.min_speedup:
+            print(f"FAIL: pooled speedup {entry['speedup']:.2f}x below the "
+                  f"{args.min_speedup:.2f}x gate", file=sys.stderr)
+            return 2
+        else:
+            print(f"speedup gate: {entry['speedup']:.2f}x >= "
+                  f"{args.min_speedup:.2f}x ok")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf", description=__doc__,
@@ -144,7 +189,22 @@ def main(argv=None) -> int:
                         help="committed BENCH_SIM_KERNEL.json to gate against")
     parser.add_argument("--min-ratio", type=float, default=0.7,
                         help="fail if fresh/baseline events/sec < this (default 0.7)")
+    parser.add_argument("--harness", action="store_true",
+                        help="benchmark the exec worker pool + result cache "
+                             "instead of the simulation kernel")
+    parser.add_argument("-j", "--jobs", default="auto",
+                        help="harness mode: worker processes, an integer or "
+                             "'auto' (default auto)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="harness mode: fuzz seeds per case (default: "
+                             "enough for a multi-second sequential baseline)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="harness mode: fail if pooled speedup < this "
+                             "(only enforced on multi-core, multi-worker runs)")
     args = parser.parse_args(argv)
+
+    if args.harness:
+        return run_harness_mode(args)
 
     mode = "smoke" if args.smoke else "full"
     benchmarks = run_benchmarks(mode)

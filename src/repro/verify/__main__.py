@@ -4,6 +4,13 @@ Runs the conformance matrix (see :mod:`repro.verify.conformance`) and
 exits non-zero if any case fails.  ``--quick`` selects the CI smoke
 subset; ``--kind/--alg/--shape`` filter; ``--list`` prints the matrix
 without running it.
+
+``-j/--jobs`` fans the cases across worker processes (``-j auto`` =
+one per core); pass/fail output is identical to a sequential run.
+Results are cached under ``.repro-cache/`` keyed by case content and
+source-tree fingerprint, so a re-run with unchanged sources skips the
+already-verified cells (``--no-cache`` disables, ``--cache-dir`` moves
+the store; see docs/parallel.md).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import argparse
 import sys
 import time
 
+from ..exec import DEFAULT_CACHE_DIR, ResultCache
 from .conformance import KINDS, SHAPES, build_matrix, run_matrix
 
 
@@ -35,6 +43,17 @@ def main(argv=None) -> int:
                         help="print the selected cases and exit")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print each case as it runs")
+    parser.add_argument("-j", "--jobs", default="1",
+                        help="worker processes: an integer or 'auto' "
+                             "(one per core); default 1 = sequential")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="kill any single case after this many "
+                             "wall-clock seconds (default: none)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-run cases, ignore cached results")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="result-cache root "
+                             f"(default: {DEFAULT_CACHE_DIR})")
     args = parser.parse_args(argv)
 
     cases = build_matrix(quick=args.quick, kinds=args.kind, algs=args.alg,
@@ -59,13 +78,21 @@ def main(argv=None) -> int:
                 for line in result.detail.splitlines():
                     print(f"    {line}")
 
+    cache = (None if args.no_cache
+             else ResultCache(root=args.cache_dir, namespace="verify"))
+    stats: dict = {}
     print(f"running {len(cases)} conformance case(s), "
           f"{args.seeds} seed(s) each...")
-    results = run_matrix(cases, seeds=args.seeds, progress=progress)
+    results = run_matrix(cases, seeds=args.seeds, progress=progress,
+                         jobs=args.jobs, cache=cache,
+                         task_timeout=args.task_timeout, stats_out=stats)
     elapsed = time.perf_counter() - start
     failed = [r for r in results if not r.ok]
     print(f"{len(results) - len(failed)}/{len(results)} case(s) passed "
           f"in {elapsed:.1f}s")
+    if cache is not None:
+        print(f"cache: {cache.hits}/{len(cases)} case(s) served from "
+              f"{args.cache_dir} ({stats.get('jobs', 1)} job(s))")
     if failed:
         print("failed cases:")
         for r in failed:

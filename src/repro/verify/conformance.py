@@ -284,13 +284,44 @@ def run_case(case: Case, seeds: int = 3) -> CaseResult:
 
 
 def run_matrix(
-    cases: List[Case], seeds: int = 3, progress=None
+    cases: List[Case],
+    seeds: int = 3,
+    progress=None,
+    jobs=None,
+    cache=None,
+    task_timeout: Optional[float] = None,
+    stats_out: Optional[dict] = None,
 ) -> List[CaseResult]:
-    """Run ``cases``; ``progress(result)`` is called after each one."""
-    results = []
-    for case in cases:
-        result = run_case(case, seeds=seeds)
+    """Run ``cases``; ``progress(result)`` is called after each one.
+
+    ``jobs`` fans the cases across a :class:`repro.exec.WorkerPool`
+    (int, ``"auto"``, or None = sequential/``REPRO_JOBS``); results and
+    progress calls keep submission order regardless, so parallel output
+    is identical to sequential.  ``cache`` (a
+    :class:`repro.exec.ResultCache`) skips cases whose content key —
+    case spec, seed count, and source-tree fingerprint — already has a
+    stored result.  ``task_timeout`` bounds one case's wall-clock in a
+    worker; a crashed or timed-out case comes back as a failed
+    :class:`CaseResult` instead of aborting the matrix.  ``stats_out``
+    receives pool utilization and cache counters.
+    """
+    from ..exec import TaskSpec, run_tasks
+
+    tasks = [TaskSpec(run_case, (case,), {"seeds": seeds}, label=case.label)
+             for case in cases]
+    results: List[CaseResult] = []
+
+    def on_result(tres) -> None:
+        case = cases[tres.index]
+        if tres.ok:
+            result = tres.value
+        else:
+            result = CaseResult(case=case, ok=False, seeds=seeds,
+                                detail=f"harness: {tres.error}")
         results.append(result)
         if progress is not None:
             progress(result)
+
+    run_tasks(tasks, jobs=jobs, cache=cache, task_timeout=task_timeout,
+              progress=on_result, stats_out=stats_out)
     return results

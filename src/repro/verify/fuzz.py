@@ -137,6 +137,34 @@ class FuzzError(AssertionError):
 
 
 # ----------------------------------------------------------------------
+def _default_extract(res: Any) -> Any:
+    return res.results
+
+
+def _fuzz_one_run(
+    main: Callable,
+    seed: Optional[int],
+    run_kwargs: dict,
+    monitor_races: bool,
+    extract: Optional[Callable[[Any], Any]],
+) -> SeedOutcome:
+    """One seeded run — module-level so a worker process can import it."""
+    monitor = HBMonitor() if monitor_races else None
+    try:
+        res = run_spmd(main, tiebreak_seed=seed, monitor=monitor,
+                       **run_kwargs)
+    except DeadlockError as err:
+        return SeedOutcome(seed=seed, results=None,
+                           error="deadlock\n" + explain_deadlock(err))
+    except AssertionError as err:
+        return SeedOutcome(seed=seed, results=None,
+                           error=f"assertion failed: {err}")
+    get = extract if extract is not None else _default_extract
+    races = [r.describe() for r in monitor.races] if monitor else []
+    return SeedOutcome(seed=seed, results=canonicalize(get(res)),
+                       time=res.time, races=races)
+
+
 def fuzz_schedules(
     main: Callable,
     *,
@@ -150,6 +178,7 @@ def fuzz_schedules(
     rtol: float = 1e-9,
     monitor_races: bool = True,
     check: bool = True,
+    jobs=None,
 ) -> FuzzReport:
     """Run ``main`` under the default schedule and under ``seeds`` fuzzed
     schedules; assert the semantic results agree.
@@ -164,9 +193,16 @@ def fuzz_schedules(
     deadlock under *any* seed is a failure and its wait-for analysis is
     embedded in the report.
 
+    ``jobs`` fans the seeded runs across a worker pool (int, ``"auto"``,
+    or None = sequential); outcome order and the report are identical to
+    the sequential sweep.  Programs or extractors that cannot be
+    pickled (closures) transparently run inline in the parent.
+
     Returns the :class:`FuzzReport`; raises :class:`FuzzError` on any
     failure unless ``check=False``.
     """
+    from ..exec import TaskSpec, run_tasks
+
     seed_list = list(range(1, seeds + 1)) if isinstance(seeds, int) else list(seeds)
     run_kwargs: dict = {"num_images": num_images, "args": args}
     if images_per_node is not None:
@@ -175,27 +211,23 @@ def fuzz_schedules(
         run_kwargs["spec"] = spec
     if config is not None:
         run_kwargs["config"] = config
-    get = extract if extract is not None else (lambda res: res.results)
 
-    def one_run(seed: Optional[int]) -> SeedOutcome:
-        monitor = HBMonitor() if monitor_races else None
-        try:
-            res = run_spmd(main, tiebreak_seed=seed, monitor=monitor,
-                           **run_kwargs)
-        except DeadlockError as err:
-            return SeedOutcome(seed=seed, results=None,
-                               error="deadlock\n" + explain_deadlock(err))
-        except AssertionError as err:
-            return SeedOutcome(seed=seed, results=None,
-                               error=f"assertion failed: {err}")
-        races = [r.describe() for r in monitor.races] if monitor else []
-        return SeedOutcome(seed=seed, results=canonicalize(get(res)),
-                           time=res.time, races=races)
+    tasks = [
+        TaskSpec(_fuzz_one_run, (main, seed, run_kwargs, monitor_races, extract),
+                 label=f"fuzz seed={seed}")
+        for seed in [None, *seed_list]
+    ]
+    raw = run_tasks(tasks, jobs=jobs)
+    runs = [
+        tres.value if tres.ok
+        else SeedOutcome(seed=seed, results=None,
+                         error=f"harness: {tres.error}")
+        for seed, tres in zip([None, *seed_list], raw)
+    ]
 
-    baseline = one_run(None)
+    baseline, fuzzed = runs[0], runs[1:]
     outcomes: List[SeedOutcome] = []
-    for seed in seed_list:
-        outcome = one_run(seed)
+    for outcome in fuzzed:
         if (outcome.error is None and baseline.error is None
                 and not semantic_equal(outcome.results, baseline.results,
                                        rtol=rtol)):

@@ -80,7 +80,18 @@ class TestMicrobench:
 
     def test_mpi_barrier_benchmark_all_tunings(self):
         for tuning in ("mvapich", "openmpi", "openmpi-hierarch"):
-            assert mpi_barrier_benchmark(8, 4, tuning, iters=4) > 0
+            res = mpi_barrier_benchmark(8, 4, tuning, iters=4)
+            assert res.seconds_per_op > 0
+
+    def test_mpi_barrier_traffic_accounting(self):
+        # MPI rows share the CAF traffic-mark protocol: per-op counters,
+        # warm-up excluded.  A barrier moves messages, not payload-free
+        # magic, and a flat tuning crosses the fabric every round.
+        res = mpi_barrier_benchmark(8, 4, "mvapich", iters=4)
+        total = (res.traffic_per_op.inter_messages
+                 + res.traffic_per_op.intra_messages)
+        assert total > 0
+        assert res.traffic_per_op.inter_messages > 0
 
     def test_mpi_unknown_tuning_rejected(self):
         with pytest.raises(ValueError):
@@ -100,6 +111,29 @@ class TestMicrobench:
         assert len(table.series) == 2
         assert set(table.get("two").values) == {"4(2)", "8(2)"}
         assert all(v > 0 for v in table.get("one").values.values())
+
+    def test_sweep_reports_failed_cells_and_continues(self):
+        def flaky(i, n):
+            if i == 8:
+                raise RuntimeError("cell exploded")
+            return 1.0
+
+        table = sweep(
+            "demo",
+            configs=[(4, 2), (8, 2)],
+            systems=[
+                ("flaky", flaky),
+                ("steady", lambda i, n: 2.0),
+            ],
+        )
+        flaky_series = table.get("flaky")
+        assert "4(2)" in flaky_series.values
+        assert "8(2)" in flaky_series.failures
+        assert "cell exploded" in flaky_series.failures["8(2)"]
+        # the other system's sweep is unaffected
+        assert set(table.get("steady").values) == {"4(2)", "8(2)"}
+        text = table.render()
+        assert "FAIL" in text and "cell exploded" in text
 
 
 class TestFigure1Harness:

@@ -113,3 +113,41 @@ class TestBaselineShims:
         assert two.backend == one.backend
         assert two.hierarchy_aware and not one.hierarchy_aware
         assert two.barrier != one.barrier
+
+
+class TestCalibrationChecks:
+    """The band-check harness itself (probes run in the band tests of
+    benchmarks/; here we verify the plumbing and the cheap constant
+    probes)."""
+
+    def test_constant_probes_in_band(self):
+        from repro.calibration import CALIBRATION_CHECKS
+
+        by_name = {name: (probe, lo, hi)
+                   for name, probe, lo, hi in CALIBRATION_CHECKS}
+        for name in ("conduit-local-gap", "mpi-transport-hierarchy"):
+            probe, lo, hi = by_name[name]
+            assert lo <= probe() <= hi, name
+
+    def test_result_ok_logic(self):
+        from repro.calibration import CalibrationResult
+
+        assert CalibrationResult("x", 1.0, 2.0, value=1.5).ok
+        assert not CalibrationResult("x", 1.0, 2.0, value=2.5).ok
+        assert not CalibrationResult("x", 1.0, 2.0, error="boom").ok
+
+    def test_check_calibration_reports_probe_failures(self, monkeypatch):
+        import repro.calibration as cal
+
+        def explode():
+            raise RuntimeError("probe broke")
+
+        monkeypatch.setattr(
+            cal, "CALIBRATION_CHECKS",
+            (("good", cal._probe_conduit_local_gap, 50.0, 500.0),
+             ("bad", explode, 0.0, 1.0)),
+        )
+        results = cal.check_calibration()
+        assert results[0].ok
+        assert not results[1].ok
+        assert "probe broke" in results[1].error

@@ -1,0 +1,229 @@
+"""Content fingerprints and the on-disk result cache.
+
+The cache's one safety property: it may only return a value for *the
+same computation* — same callable, same arguments, same source tree.
+So the fingerprint tests focus on (a) stability across calls, (b)
+sensitivity to every component, and (c) refusing to key anything whose
+identity is not derivable from content (a wrong key is strictly worse
+than no cache).
+"""
+
+import functools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    TaskSpec,
+    UnstableFingerprint,
+    run_tasks,
+    source_fingerprint,
+    stable_fingerprint,
+    stable_repr,
+)
+from repro.exec.cache import invalidate_fingerprint_memo
+from repro.runtime.config import UHCAF_1LEVEL, UHCAF_2LEVEL
+
+
+def job(x, scale=1):
+    return x * scale
+
+
+# ----------------------------------------------------------------------
+class TestStableRepr:
+    def test_primitives(self):
+        assert stable_repr(3) == "3"
+        assert stable_repr("hi") == "'hi'"
+        assert stable_repr(None) == "None"
+        assert stable_repr(True) == "True"
+
+    def test_floats_are_exact(self):
+        # hex form: no formatting round-off can alias two close floats
+        assert stable_repr(0.1) == (0.1).hex()
+        assert stable_repr(float("nan")) == "float:nan"
+
+    def test_container_determinism(self):
+        assert stable_repr({"b": 1, "a": 2}) == stable_repr({"a": 2, "b": 1})
+        assert stable_repr({3, 1, 2}) == stable_repr({2, 3, 1})
+        assert stable_repr([1, 2]) != stable_repr((1, 2))
+
+    def test_ndarray_content_keyed(self):
+        a = np.arange(4.0)
+        b = np.arange(4.0)
+        c = np.arange(4.0) + 1
+        assert stable_repr(a) == stable_repr(b)
+        assert stable_repr(a) != stable_repr(c)
+
+    def test_dataclass_by_fields(self):
+        assert stable_repr(UHCAF_2LEVEL) == stable_repr(UHCAF_2LEVEL)
+        assert stable_repr(UHCAF_2LEVEL) != stable_repr(UHCAF_1LEVEL)
+
+    def test_partial_by_target_and_args(self):
+        p1 = functools.partial(job, 3, scale=2)
+        p2 = functools.partial(job, 3, scale=2)
+        p3 = functools.partial(job, 4, scale=2)
+        assert stable_repr(p1) == stable_repr(p2)
+        assert stable_repr(p1) != stable_repr(p3)
+
+    def test_identity_reprs_refused(self):
+        with pytest.raises(UnstableFingerprint):
+            stable_repr(object())
+        with pytest.raises(UnstableFingerprint):
+            stable_repr(lambda: None)
+
+
+class TestStableFingerprint:
+    def test_stable_across_calls(self):
+        a = stable_fingerprint(TaskSpec(job, (3,), {"scale": 2}))
+        b = stable_fingerprint(TaskSpec(job, (3,), {"scale": 2}))
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = stable_fingerprint(TaskSpec(job, (3,), {"scale": 2}))
+        assert stable_fingerprint(TaskSpec(job, (4,), {"scale": 2})) != base
+        assert stable_fingerprint(TaskSpec(job, (3,), {"scale": 3})) != base
+
+    def test_explicit_cache_key_override(self):
+        a = stable_fingerprint(TaskSpec(job, (1,), cache_key="same"))
+        b = stable_fingerprint(TaskSpec(job, (2,), cache_key="same"))
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+class TestSourceFingerprint:
+    def test_tracks_file_content(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("X = 1\n")
+        invalidate_fingerprint_memo()
+        before = source_fingerprint([tmp_path])
+        src.write_text("X = 2\n")
+        invalidate_fingerprint_memo()
+        after = source_fingerprint([tmp_path])
+        assert before != after
+
+    def test_memoized_within_process(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("X = 1\n")
+        invalidate_fingerprint_memo()
+        before = source_fingerprint([tmp_path])
+        src.write_text("X = 2\n")  # no invalidation: memo still serves
+        assert source_fingerprint([tmp_path]) == before
+        invalidate_fingerprint_memo()
+
+
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        task = TaskSpec(job, (21,), {"scale": 2})
+        key = cache.task_key(task)
+        assert key is not None
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.put(key, 42)
+        hit, value = cache.get(key)
+        assert hit and value == 42
+        assert cache.entry_count() == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.task_key(TaskSpec(job, (1,)))
+        cache.put(key, "fine")
+        # clobber the entry on disk
+        [path] = list((tmp_path / cache.namespace).rglob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.entry_count() == 0  # dropped, not left to rot
+
+    def test_unkeyable_task_gets_no_key(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.task_key(TaskSpec(lambda: 1)) is None
+        assert cache.unkeyed == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            cache.put(cache.task_key(TaskSpec(job, (i,))), i)
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        a = ResultCache(root=tmp_path, namespace="a")
+        b = ResultCache(root=tmp_path, namespace="b")
+        key = a.task_key(TaskSpec(job, (1,)))
+        a.put(key, "from-a")
+        hit, _ = b.get(key)
+        assert not hit
+
+
+# ----------------------------------------------------------------------
+class TestRunTasksCaching:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        tasks = lambda: [TaskSpec(job, (i,), {"scale": 3}) for i in range(6)]  # noqa: E731
+        cold = run_tasks(tasks(), jobs=1, cache=cache)
+        assert cache.puts == 6
+        warm_cache = ResultCache(root=tmp_path)
+        warm = run_tasks(tasks(), jobs=1, cache=warm_cache)
+        assert warm_cache.hits == 6
+        assert [r.value for r in warm] == [r.value for r in cold]
+        assert all(r.cached for r in warm)
+
+    def test_source_change_invalidates(self, tmp_path):
+        src_root = tmp_path / "src"
+        src_root.mkdir()
+        (src_root / "mod.py").write_text("X = 1\n")
+        invalidate_fingerprint_memo()
+        cache = ResultCache(root=tmp_path / "cache", source_roots=[src_root])
+        run_tasks([TaskSpec(job, (5,))], jobs=1, cache=cache)
+        assert cache.puts == 1
+
+        (src_root / "mod.py").write_text("X = 2\n")
+        invalidate_fingerprint_memo()
+        fresh = ResultCache(root=tmp_path / "cache", source_roots=[src_root])
+        run_tasks([TaskSpec(job, (5,))], jobs=1, cache=fresh)
+        assert fresh.hits == 0 and fresh.misses == 1
+        invalidate_fingerprint_memo()
+
+    def test_unkeyable_tasks_run_every_time(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        make = lambda: [TaskSpec(lambda: 7)]  # noqa: E731
+        first = run_tasks(make(), jobs=1, cache=cache)
+        second = run_tasks(make(), jobs=1, cache=cache)
+        assert first[0].value == second[0].value == 7
+        assert cache.hits == 0 and cache.puts == 0
+
+    def test_failed_tasks_never_cached(self, tmp_path):
+        from tests.test_exec_pool import boom
+
+        cache = ResultCache(root=tmp_path)
+        results = run_tasks([TaskSpec(boom, (1,))], jobs=1, cache=cache)
+        assert not results[0].ok
+        assert cache.puts == 0
+        assert cache.entry_count() == 0
+
+    def test_errors_rerun_after_failure(self, tmp_path):
+        from tests.test_exec_pool import boom
+
+        cache = ResultCache(root=tmp_path)
+        run_tasks([TaskSpec(boom, (1,))], jobs=1, cache=cache)
+        again = ResultCache(root=tmp_path)
+        results = run_tasks([TaskSpec(boom, (1,))], jobs=1, cache=again)
+        assert not results[0].ok  # re-executed, same verdict, not served
+        assert again.hits == 0
+
+
+# ----------------------------------------------------------------------
+class TestCachedValueFidelity:
+    def test_pickle_roundtrip_preserves_equality(self, tmp_path):
+        """What goes in is what comes out — byte-identical re-render."""
+        cache = ResultCache(root=tmp_path)
+        value = {"table": [1.5, float("inf")], "arr": (1, 2, 3)}
+        key = cache.task_key(TaskSpec(job, (9,)))
+        cache.put(key, value)
+        _, out = cache.get(key)
+        assert out == value
+        assert pickle.dumps(out) == pickle.dumps(value)

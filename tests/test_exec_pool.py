@@ -1,0 +1,211 @@
+"""The exec worker pool: ordering, fallback layers, crash recovery.
+
+The pool's contract (see ``docs/parallel.md``) is that a parallel run is
+indistinguishable from a sequential one except in wall-clock time, and
+that misbehaving tasks — raising, hanging, hard-crashing the worker —
+cost only their own result.  These tests exercise each clause with real
+worker processes where the sandbox allows them; the pool transparently
+degrades to inline execution where it does not, and every assertion
+below holds either way.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import TaskSpec, WorkerPool, resolve_jobs, run_tasks
+from repro.exec.pool import JOBS_ENV, MAX_JOBS
+
+
+# ----------------------------------------------------------------------
+# Module-level task bodies (workers import them by reference)
+# ----------------------------------------------------------------------
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"bad cell {x}")
+
+
+def crash_once(sentinel):
+    """Hard-exit the worker on the first attempt, succeed on the retry."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(17)
+    return "recovered"
+
+
+def crash_always(_):
+    os._exit(17)
+
+
+def napper(seconds):
+    time.sleep(seconds)
+    return "slept"
+
+
+# ----------------------------------------------------------------------
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_auto_is_cpu_count(self):
+        assert resolve_jobs("auto") == min(os.cpu_count() or 1, MAX_JOBS)
+
+    def test_zero_and_negative_mean_auto(self):
+        assert resolve_jobs(0) == resolve_jobs("auto")
+        assert resolve_jobs(-4) == resolve_jobs("auto")
+
+    def test_capped(self):
+        assert resolve_jobs(10_000) == MAX_JOBS
+
+    def test_numeric_string(self):
+        assert resolve_jobs("2") == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("fast")
+
+
+# ----------------------------------------------------------------------
+class TestOrderingAndFallback:
+    def test_inline_map_preserves_order(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(7)]
+        with WorkerPool(jobs=1) as pool:
+            results = pool.map(tasks)
+        assert [r.value for r in results] == [i * i for i in range(7)]
+        assert all(r.inline for r in results)
+
+    def test_pooled_matches_inline(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(20)]
+        with WorkerPool(jobs=1) as seq, WorkerPool(jobs=2) as par:
+            a = seq.map([TaskSpec(square, (i,)) for i in range(20)])
+            b = par.map(tasks)
+        assert [r.value for r in a] == [r.value for r in b]
+        assert [r.index for r in b] == list(range(20))
+
+    def test_on_result_fires_in_submission_order(self):
+        seen = []
+        tasks = [TaskSpec(square, (i,)) for i in range(16)]
+        with WorkerPool(jobs=2, chunk_size=1) as pool:
+            pool.map(tasks, on_result=lambda r: seen.append(r.index))
+        assert seen == list(range(16))
+
+    def test_closures_fall_back_inline(self):
+        captured = 3
+        tasks = [TaskSpec(square, (2,)),
+                 TaskSpec(lambda: captured * 2)]
+        with WorkerPool(jobs=2) as pool:
+            results = pool.map(tasks)
+        assert results[0].value == 4
+        assert results[1].value == 6
+        assert results[1].inline  # the lambda never left the parent
+
+    def test_raising_task_reports_error_and_siblings_survive(self):
+        tasks = [TaskSpec(square, (1,)), TaskSpec(boom, (7,)),
+                 TaskSpec(square, (3,))]
+        with WorkerPool(jobs=2) as pool:
+            results = pool.map(tasks)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "ValueError" in results[1].error
+        assert "bad cell 7" in results[1].error
+
+    def test_pool_reuse_across_maps(self):
+        with WorkerPool(jobs=2) as pool:
+            first = pool.map([TaskSpec(square, (i,)) for i in range(6)])
+            second = pool.map([TaskSpec(square, (i,)) for i in range(6, 12)])
+        assert [r.value for r in first] == [i * i for i in range(6)]
+        assert [r.value for r in second] == [i * i for i in range(6, 12)]
+
+    def test_explicit_chunk_size(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(9)]
+        with WorkerPool(jobs=2, chunk_size=2) as pool:
+            results = pool.map(tasks)
+        assert [r.value for r in results] == [i * i for i in range(9)]
+
+
+# ----------------------------------------------------------------------
+def _pool_is_real(pool) -> bool:
+    """Crash/timeout semantics need actual worker processes."""
+    return not pool.inline
+
+
+class TestRobustness:
+    def test_worker_crash_retried_once(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [TaskSpec(square, (5,)), TaskSpec(crash_once, (sentinel,))]
+        with WorkerPool(jobs=2) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            results = pool.map(tasks)
+        assert results[0].value == 25
+        assert results[1].value == "recovered"
+        assert pool.respawns >= 1
+
+    def test_poison_task_errors_out_but_siblings_finish(self, tmp_path):
+        tasks = [TaskSpec(crash_always, (0,)), TaskSpec(square, (6,))]
+        with WorkerPool(jobs=2) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            results = pool.map(tasks)
+        assert not results[0].ok
+        assert "crash" in results[0].error
+        assert results[1].value == 36
+
+    def test_task_timeout_kills_only_the_stuck_task(self):
+        tasks = [TaskSpec(napper, (30.0,)), TaskSpec(square, (4,))]
+        with WorkerPool(jobs=2, task_timeout=0.5, retries=0) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            t0 = time.perf_counter()
+            results = pool.map(tasks)
+            wall = time.perf_counter() - t0
+        assert not results[0].ok
+        assert "timeout" in results[0].error
+        assert results[1].value == 16
+        assert wall < 20  # nowhere near the 30s nap
+
+
+# ----------------------------------------------------------------------
+class TestRunTasksFacade:
+    def test_results_and_stats(self):
+        stats = {}
+        results = run_tasks([TaskSpec(square, (i,)) for i in range(5)],
+                            jobs=2, stats_out=stats)
+        assert [r.value for r in results] == [0, 1, 4, 9, 16]
+        assert stats["tasks"] == 5
+        assert stats["executed"] == 5
+        assert stats["jobs"] == 2
+
+    def test_progress_in_submission_order(self):
+        seen = []
+        run_tasks([TaskSpec(square, (i,)) for i in range(10)], jobs=2,
+                  progress=lambda r: seen.append(r.index))
+        assert seen == list(range(10))
+
+    def test_sequential_default(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        stats = {}
+        results = run_tasks([TaskSpec(square, (3,))], stats_out=stats)
+        assert results[0].value == 9
+        assert stats["jobs"] == 1
+
+    def test_external_pool_reused(self):
+        with WorkerPool(jobs=2) as pool:
+            a = run_tasks([TaskSpec(square, (i,)) for i in range(4)],
+                          pool=pool)
+            b = run_tasks([TaskSpec(square, (i,)) for i in range(4, 8)],
+                          pool=pool)
+        assert [r.value for r in a + b] == [i * i for i in range(8)]
