@@ -37,7 +37,11 @@ class ReplicaStats:
             raise ValueError("need at least one sample")
         n = len(samples)
         mean = sum(samples) / n
-        var = sum((s - mean) ** 2 for s in samples) / n
+        # Sample (Bessel-corrected) variance: the replicas are a small
+        # sample of the jitter distribution, and /n biases std/spread
+        # low exactly where the harness runs few seeds.
+        var = (sum((s - mean) ** 2 for s in samples) / (n - 1)
+               if n > 1 else 0.0)
         return ReplicaStats(
             samples=tuple(samples), mean=mean, std=math.sqrt(var),
             minimum=min(samples), maximum=max(samples),

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..sim import WaitFor
+from ..faults.manager import wait_or_fail
 from ..teams.team import TeamView
 from .base import binomial_peers, dissemination_rounds, notify
 
@@ -97,10 +97,13 @@ def barrier_linear(ctx, view: TeamView, path: str = "auto") -> Iterator:
     me = view.index
     if me != leader:
         yield from notify(ctx, view, leader, shared.cocounter(leader), path=path)
-        yield WaitFor(shared.release_flag(me), lambda v, s=seq: v >= s)
+        yield from wait_or_fail(
+            ctx, view, shared.release_flag(me), lambda v, s=seq: v >= s
+        )
     else:
-        yield WaitFor(
-            shared.cocounter(leader), lambda v, s=seq * (n - 1): v >= s
+        yield from wait_or_fail(
+            ctx, view, shared.cocounter(leader),
+            lambda v, s=seq * (n - 1): v >= s,
         )
         for slave in range(2, n + 1):
             yield from notify(
@@ -124,12 +127,12 @@ def barrier_tournament(ctx, view: TeamView, path: str = "auto") -> Iterator:
     # fan-in: wait for each child's arrival, then report to the parent
     for child in sorted(children):
         arrive = shared.diss_flag(view.index, child, "tourn-arrive")
-        yield WaitFor(arrive, lambda v, s=seq: v >= s)
+        yield from wait_or_fail(ctx, view, arrive, lambda v, s=seq: v >= s)
     if parent is not None:
         arrive = shared.diss_flag(parent + 1, rank, "tourn-arrive")
         yield from notify(ctx, view, parent + 1, arrive, path=path)
         release = shared.diss_flag(view.index, 0, "tourn-release")
-        yield WaitFor(release, lambda v, s=seq: v >= s)
+        yield from wait_or_fail(ctx, view, release, lambda v, s=seq: v >= s)
     # fan-out: champion (and each released winner) wakes its children
     for child in children:
         release = shared.diss_flag(child + 1, 0, "tourn-release")
@@ -161,14 +164,17 @@ def barrier_tdlb(ctx, view: TeamView) -> Iterator:
         yield from notify(
             ctx, view, leader, shared.cocounter(leader), path="direct"
         )
-        yield WaitFor(shared.release_flag(me), lambda v, s=seq: v >= s)
+        yield from wait_or_fail(
+            ctx, view, shared.release_flag(me), lambda v, s=seq: v >= s
+        )
         return
 
     slaves = h.slaves_of(me)
     if slaves:
         # Step 1 (leader side): wait for the whole intranode set.
-        yield WaitFor(
-            shared.cocounter(me), lambda v, s=seq * len(slaves): v >= s
+        yield from wait_or_fail(
+            ctx, view, shared.cocounter(me),
+            lambda v, s=seq * len(slaves): v >= s,
         )
     # Step 2: inter-node dissemination among leaders only.
     yield from dissemination_rounds(
@@ -215,12 +221,14 @@ def barrier_tdlb_numa(ctx, view: TeamView) -> Iterator:
         # Tier 1 up: arrive at the socket leader.
         yield from notify(ctx, view, socket_leader, sock_arrive, path="direct")
         my_release = shared.diss_flag(me, 0, "tdlb3-rel")
-        yield WaitFor(my_release, lambda v, s=seq: v >= s)
+        yield from wait_or_fail(ctx, view, my_release, lambda v, s=seq: v >= s)
         return
 
     n_socket_slaves = len(my_socket_set) - 1
     if n_socket_slaves:
-        yield WaitFor(sock_arrive, lambda v, s=seq * n_socket_slaves: v >= s)
+        yield from wait_or_fail(
+            ctx, view, sock_arrive, lambda v, s=seq * n_socket_slaves: v >= s
+        )
 
     socket_leaders = [
         (node_leader if node_leader in members else members[0])
@@ -230,12 +238,13 @@ def barrier_tdlb_numa(ctx, view: TeamView) -> Iterator:
         # Tier 2 up: socket leader arrives at the node leader.
         yield from notify(ctx, view, node_leader, node_arrive, path="direct")
         my_release = shared.diss_flag(me, 0, "tdlb3-rel")
-        yield WaitFor(my_release, lambda v, s=seq: v >= s)
+        yield from wait_or_fail(ctx, view, my_release, lambda v, s=seq: v >= s)
     else:
         n_sock_leaders = len([sl for sl in socket_leaders if sl != me])
         if n_sock_leaders:
-            yield WaitFor(
-                node_arrive, lambda v, s=seq * n_sock_leaders: v >= s
+            yield from wait_or_fail(
+                ctx, view, node_arrive,
+                lambda v, s=seq * n_sock_leaders: v >= s,
             )
         # Tier 3: node leaders across the interconnect.
         yield from dissemination_rounds(

@@ -20,7 +20,8 @@ from __future__ import annotations
 import math
 from typing import Iterator, List, Sequence
 
-from ..sim import Timeout, WaitFor
+from ..faults.manager import wait_or_fail
+from ..sim import Timeout
 from ..teams.team import TeamView
 
 __all__ = [
@@ -101,7 +102,7 @@ def dissemination_rounds(
         flag = shared.diss_flag(send_to, r, variant)
         yield from notify(ctx, view, send_to, flag, path=path)
         my_flag = shared.diss_flag(view.index, r, variant)
-        yield WaitFor(my_flag, lambda v, s=seq: v >= s)
+        yield from wait_or_fail(ctx, view, my_flag, lambda v, s=seq: v >= s)
         if extra_round_cost > 0.0:
             yield Timeout(extra_round_cost)
 

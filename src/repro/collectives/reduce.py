@@ -31,7 +31,8 @@ from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..sim import Timeout, WaitFor
+from ..faults.manager import wait_or_fail
+from ..sim import Timeout
 from ..teams.team import TeamView
 from .base import binomial_peers, combine_flops, payload_nbytes
 
@@ -105,9 +106,17 @@ def _send_value(
 
 
 def _wait_values(ctx, view: TeamView, tag, count: int) -> list:
-    """Block until ``count`` deposits sit in my mailbox ``tag``; drain them."""
+    """Block until ``count`` deposits sit in my mailbox ``tag``; drain them.
+
+    This is the single blocking point of every data-carrying collective
+    (reduce, broadcast, gather, alltoall, and team formation all wait
+    here), so routing it through the failure-aware
+    :func:`~repro.faults.manager.wait_or_fail` makes the whole family
+    detect failed images instead of hanging on a mailbox a dead image was
+    supposed to fill.
+    """
     cell = view.shared.mail_cell(view.index, tag)
-    yield WaitFor(cell, lambda v, c=count: v >= c)
+    yield from wait_or_fail(ctx, view, cell, lambda v, c=count: v >= c)
     return view.shared.collect(view.index, tag)
 
 

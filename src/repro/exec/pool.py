@@ -16,8 +16,13 @@ long-lived ``multiprocessing`` workers and guarantees:
 * **Robustness** — a per-task timeout kills and replaces a stuck
   worker; a crashed worker (hard exit, OOM kill) is detected, its
   in-flight task retried once on a fresh worker, and its undispatched
-  chunk remainder requeued.  A task that raises an ordinary exception
-  is *not* retried (it is deterministic); the error text lands in its
+  chunk remainder requeued.  A task that times out on every pooled
+  attempt gets one final **untimed inline attempt** in the parent — a
+  hang specific to the worker environment (fork-state corruption, a
+  wedged queue feeder) completes there instead of failing the cell,
+  while a genuinely divergent task still hangs visibly rather than
+  being silently dropped.  A task that raises an ordinary exception is
+  *not* retried (it is deterministic); the error text lands in its
   :class:`~repro.exec.task.TaskResult`.
 * **Graceful degradation** — with ``jobs<=1``, with unpicklable tasks,
   or when process spawning is unavailable (restricted sandboxes), work
@@ -295,6 +300,8 @@ class WorkerPool:
         if not blobs:
             return
         pending: Set[int] = set(blobs)
+        #: timeout-exhausted tasks awaiting one last untimed inline attempt
+        fallback: Set[int] = set()
         attempts: Dict[int, int] = {index: 0 for index in blobs}
         dispatches: Dict[int, int] = {index: 0 for index in blobs}
         chunks: Dict[int, _Chunk] = {}
@@ -314,21 +321,31 @@ class WorkerPool:
             enqueue(order[lo:lo + size])
 
         def finish(index: int, result: TaskResult) -> None:
-            if index in pending:
+            if index in pending or index in fallback:
                 pending.discard(index)
+                fallback.discard(index)
                 settle(index, result)
 
-        def fail_or_retry(index: int, why: str) -> None:
+        def fail_or_retry(index: int, why: str,
+                          inline_fallback: bool = False) -> None:
             """A crash/timeout consumed one attempt of ``index``."""
             if index not in pending:
                 return
             if attempts[index] <= self.retries:
                 enqueue([index])
+            elif inline_fallback:
+                # Every pooled attempt timed out.  Give the task one
+                # untimed attempt in the parent after the pool drains:
+                # if the hang was an artifact of the worker environment
+                # the task completes; if it is real, the hang stays
+                # visible instead of becoming a silently-failed cell.
+                pending.discard(index)
+                fallback.add(index)
             else:
                 finish(index, TaskResult(index=index, error=why,
                                          attempts=attempts[index]))
 
-        def reap(slot: int, why: str) -> None:
+        def reap(slot: int, why: str, inline_fallback: bool = False) -> None:
             """Kill+replace worker ``slot``; reschedule its work."""
             state = self._workers[slot]
             if state.proc.is_alive():
@@ -343,7 +360,7 @@ class WorkerPool:
             if leftovers:
                 enqueue(leftovers)
             if current is not None:
-                fail_or_retry(current, why)
+                fail_or_retry(current, why, inline_fallback)
             try:
                 replacement = self._spawn(slot)
                 replacement.busy_s = state.busy_s
@@ -390,8 +407,10 @@ class WorkerPool:
                     w.proc.is_alive() for w in self._workers):
                 break
 
-        # Pool died mid-run (or could not be repaired): finish inline.
-        for index in sorted(pending):
+        # Timeout-exhausted tasks get their last untimed attempt here;
+        # also, if the pool died mid-run (or could not be repaired),
+        # whatever is left finishes inline.
+        for index in sorted(pending | fallback):
             task = tasks[index]
             start = time.perf_counter()
             try:
@@ -459,7 +478,8 @@ class WorkerPool:
             if (state.current is not None
                     and now - state.started > self.task_timeout):
                 reap(slot, f"task timeout after {self.task_timeout:g}s "
-                           f"(worker {slot} killed)")
+                           f"(worker {slot} killed)",
+                     inline_fallback=True)
 
     def _check_deaths(self, reap) -> None:
         for slot, state in enumerate(self._workers):

@@ -1,0 +1,55 @@
+"""Fail-stop fault injection and graceful degradation (``repro.faults``).
+
+The paper's two-level runtime targets 44-node clusters where image
+failures and flaky links are the operational norm.  This package gives
+the reproduction the failure model Fortran 2018 standardized:
+
+* :mod:`repro.faults.schedule` — a **deterministic fault schedule**:
+  image fail-stops at fixed simulated times, plus seeded message
+  drop/delay jitter on the interconnect.  Identical schedule + seed
+  always produce byte-identical runs.
+* :mod:`repro.faults.manager` — the runtime side: the
+  :class:`FaultManager` arms kill events on the engine, answers the
+  ``image_status()`` / ``failed_images()`` intrinsics, decides message
+  fates at the conduit, and provides the **failure-aware wait** every
+  synchronization primitive and collective blocks through, so survivors
+  observe ``STAT_FAILED_IMAGE`` at their next synchronization instead
+  of hanging.
+
+Public surface::
+
+    from repro.faults import (
+        FaultSchedule, ImageFailure, FaultManager,
+        Stat, STAT_OK, STAT_FAILED_IMAGE, FailedImageError, FAILED,
+    )
+
+    schedule = FaultSchedule(failures=(ImageFailure(image=3, time=50e-6),))
+    result = run_spmd(main, num_images=8, faults=schedule)
+
+See ``docs/faults.md`` for the fault model, determinism guarantee and
+``stat=`` semantics.
+"""
+
+from .manager import (
+    FAILED,
+    STAT_FAILED_IMAGE,
+    STAT_OK,
+    FailedImageError,
+    FaultManager,
+    Stat,
+    wait_or_fail,
+)
+from .schedule import FaultSchedule, ImageFailure, parse_schedule
+
+__all__ = [
+    "FAILED",
+    "STAT_FAILED_IMAGE",
+    "STAT_OK",
+    "FailedImageError",
+    "FaultManager",
+    "FaultSchedule",
+    "ImageFailure",
+    "Stat",
+    "parse_schedule",
+    "wait_or_fail",
+]

@@ -42,11 +42,16 @@ class Conduit:
         machine: Machine,
         profile: ConduitProfile,
         hierarchy_aware: bool = False,
+        faults=None,
     ):
         self.machine = machine
         self.profile = profile
         #: when True, same-node transfers default to the ``direct`` path
         self.hierarchy_aware = hierarchy_aware
+        #: optional :class:`repro.faults.FaultManager` — decides message
+        #: fates (delivery to dead images, drop/delay jitter) when a fault
+        #: schedule is installed; None on the default path
+        self.faults = faults
         self._engines = [
             Resource(machine.engine, capacity=1, name=f"conduit{n}")
             for n in range(machine.spec.num_nodes)
@@ -111,6 +116,14 @@ class Conduit:
                 f"direct path requested between images {src_image} and "
                 f"{dst_image} on different nodes"
             )
+        if path == "loopback" and not same:
+            # Symmetric to the direct case: loopback is the *same-node*
+            # conduit path; letting it through would route cross-node
+            # traffic through the source node's shared-memory model.
+            raise ValueError(
+                f"loopback path requested between images {src_image} and "
+                f"{dst_image} on different nodes"
+            )
         if path == "remote" and same:
             # Same-node through the conduit is by definition the loopback path.
             return "loopback"
@@ -133,6 +146,14 @@ class Conduit:
         """
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
+        faults = self.faults
+        if faults is not None:
+            # A message to a dead image still pays wire costs (the sender
+            # cannot tell), but its target-side effects are suppressed.
+            on_delivered = faults.filter_delivery(dst_image, on_delivered)
+            jitter = faults.link_delay(resolved)
+            if jitter > 0.0:
+                yield Timeout(jitter)
         on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
         placements = self._placements
         ps = placements[src_image]
@@ -189,6 +210,12 @@ class Conduit:
         """
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
+        faults = self.faults
+        if faults is not None:
+            on_delivered = faults.filter_delivery(dst_image, on_delivered)
+            jitter = faults.link_delay(resolved)
+            if jitter > 0.0:
+                yield Timeout(jitter)
         on_delivered = self._monitored_delivery(src_image, dst_image, on_delivered)
         placements = self._placements
         ps = placements[src_image]

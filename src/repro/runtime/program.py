@@ -29,6 +29,14 @@ import numpy as np
 
 from ..calibration import ConduitProfile
 from ..collectives.registry import resolve
+from ..faults.manager import (
+    STAT_FAILED_IMAGE,
+    STAT_OK,
+    FailedImageError,
+    FaultManager,
+    Stat,
+)
+from ..faults.schedule import FaultSchedule
 from ..machine import Machine, MachineSpec, Placement, TrafficSnapshot, build_machine, paper_cluster
 from ..sim import Engine, Process, SimEvent, Timeout, Wait
 from ..teams.formation import form_team as _form_team
@@ -65,12 +73,22 @@ class World:
     """Everything shared by the images of one SPMD run."""
 
     def __init__(self, machine: Machine, config: RuntimeConfig,
-                 jitter_seed: int = 0, trace: bool = False):
+                 jitter_seed: int = 0, trace: bool = False,
+                 fault_schedule: Optional[FaultSchedule] = None):
         self.engine = machine.engine
         self.machine = machine
         self.config = config
+        #: fault-injection manager, or None for the default (fault-free)
+        #: path; a null schedule installs no manager so the run stays
+        #: byte-identical to one with no schedule at all
+        self.faults: Optional[FaultManager] = (
+            FaultManager(self.engine, fault_schedule, machine.num_images)
+            if fault_schedule is not None and not fault_schedule.is_null
+            else None
+        )
         self.conduit = Conduit(
-            machine, config.conduit_profile, hierarchy_aware=config.hierarchy_aware
+            machine, config.conduit_profile,
+            hierarchy_aware=config.hierarchy_aware, faults=self.faults,
         )
         self.initial_shared = TeamShared(
             engine=self.engine,
@@ -85,6 +103,11 @@ class World:
         self.atomic_vars: Dict[str, AtomicVar] = {}
         self.event_vars: Dict[str, EventVar] = {}
         self.lock_vars: Dict[str, LockVar] = {}
+        #: survivor-team re-formations, keyed by (parent uid, member tuple,
+        #: team number): the first surviving arriver builds the TeamShared,
+        #: the rest attach — deterministic because every survivor computes
+        #: the same member list from the same failed set
+        self._survivor_shared: Dict[tuple, TeamShared] = {}
         #: chronological (time, image, op, detail) records when tracing
         self.trace: Optional[List[Tuple[float, int, str, str]]] = (
             [] if trace else None
@@ -142,6 +165,12 @@ class CafContext:
     def now(self) -> float:
         """Current simulated time (the microbenchmarks' stopwatch)."""
         return self.world.engine.now
+
+    @property
+    def faults(self) -> Optional[FaultManager]:
+        """The run's fault manager, or None when no faults are injected.
+        The collectives' failure-aware waits read this (duck-typed)."""
+        return self.world.faults
 
     def compute_cost(self, flops: float) -> Timeout:
         """A yieldable command charging ``flops`` of local work at this
@@ -350,23 +379,71 @@ class CafContext:
         return value
 
     # ------------------------------------------------------------------
+    # stat= semantics (Fortran 2018 failed-image handling)
+    # ------------------------------------------------------------------
+    def _catch_stat(self, stat: Optional[Stat], gen):
+        """Run a synchronization/collective generator under ``stat=``
+        semantics: a :class:`FailedImageError` either lands in ``stat``
+        (``STAT_FAILED_IMAGE``) or propagates (error termination) when no
+        ``stat`` was supplied — exactly the standard's dichotomy."""
+        if self.world.faults is None:
+            result = yield from gen
+            if stat is not None:
+                stat._clear()
+            return result
+        try:
+            result = yield from gen
+        except FailedImageError as err:
+            gen.close()
+            if stat is None:
+                raise
+            stat._set_failure(err)
+            return None
+        if stat is not None:
+            stat._clear()
+        return result
+
+    def _stat_guard(self, stat: Optional[Stat], view: TeamView, gen):
+        """:meth:`_catch_stat` plus the *entry check*: a team operation
+        started after a member failed observes the failure immediately,
+        even on images whose role in the algorithm never blocks (e.g. a
+        broadcast source) — this is what makes failure detection a
+        guarantee of the next synchronization, not of the next wait."""
+        faults = self.world.faults
+        if faults is not None:
+            try:
+                faults.check_team(view.shared)
+            except FailedImageError as err:
+                gen.close()
+                if stat is None:
+                    raise
+                stat._set_failure(err)
+                return None
+        result = yield from self._catch_stat(stat, gen)
+        return result
+
+    # ------------------------------------------------------------------
     # Synchronization
     # ------------------------------------------------------------------
-    def sync_all(self):
+    def sync_all(self, stat: Optional[Stat] = None):
         """``sync all``: barrier over the current team, using the
-        configured strategy."""
+        configured strategy.  ``stat`` receives ``STAT_FAILED_IMAGE``
+        instead of raising when a team member has failed."""
         self._log("sync_all", f"team{self.current_team.shared.uid}")
-        yield from self.sync_team(self.current_team)
+        yield from self.sync_team(self.current_team, stat=stat)
 
-    def sync_team(self, team: TeamView):
+    def sync_team(self, team: TeamView, stat: Optional[Stat] = None):
         """``sync team(T)``: barrier over team ``T`` (must be the current
         team or an ancestor/descendant this image belongs to)."""
         barrier = resolve("barrier", self.config.barrier)
-        yield from barrier(self, team)
+        yield from self._stat_guard(stat, team, barrier(self, team))
 
-    def sync_images(self, images: Union[str, Sequence[int]]):
+    def sync_images(self, images: Union[str, Sequence[int]],
+                    stat: Optional[Stat] = None):
         """``sync images(L)``: pairwise rendezvous with each image in
-        ``L`` (current-team indices), or with everyone for ``'*'``."""
+        ``L`` (current-team indices), or with everyone for ``'*'``.
+        With ``stat``, a failed partner reports ``STAT_FAILED_IMAGE``
+        (naming global image indices) instead of raising."""
         view = self.current_team
         if isinstance(images, str):
             if images != "*":
@@ -374,9 +451,10 @@ class CafContext:
             peers = [view.shared.proc_of(i) for i in range(1, view.size + 1)]
         else:
             peers = [view.shared.proc_of(i) for i in images]
-        yield from self.world.pairwise.sync_images(
-            self.conduit, self.proc, peers, self._sync_seen
-        )
+        yield from self._catch_stat(stat, self.world.pairwise.sync_images(
+            self.conduit, self.proc, peers, self._sync_seen,
+            faults=self.world.faults,
+        ))
 
     def sync_memory(self):
         """``sync memory``: local fence."""
@@ -387,61 +465,74 @@ class CafContext:
     # ------------------------------------------------------------------
     def co_reduce(self, value: Any, op: str = "sum",
                   result_image: Optional[int] = None,
-                  team: Optional[TeamView] = None):
+                  team: Optional[TeamView] = None,
+                  stat: Optional[Stat] = None):
         """Team reduction with the configured strategy; returns the result
         (on every image, or only on ``result_image`` if given).
 
         ``team`` selects a team other than the current one — the CAF 2.0
         style team-qualified collective the HPC Challenge/HPL ports use
-        to avoid a ``change team`` round-trip per call.
+        to avoid a ``change team`` round-trip per call.  ``stat``
+        receives ``STAT_FAILED_IMAGE`` instead of raising when a team
+        member has failed.
         """
         fn = resolve("reduce", self.config.reduce)
         view = team if team is not None else self.current_team
-        result = yield from fn(self, view, value, op, result_image=result_image)
+        result = yield from self._stat_guard(
+            stat, view, fn(self, view, value, op, result_image=result_image)
+        )
         return result
 
     def co_sum(self, value: Any, result_image: Optional[int] = None,
-               team: Optional[TeamView] = None):
-        result = yield from self.co_reduce(value, "sum", result_image, team)
+               team: Optional[TeamView] = None, stat: Optional[Stat] = None):
+        result = yield from self.co_reduce(value, "sum", result_image, team,
+                                           stat=stat)
         return result
 
     def co_max(self, value: Any, result_image: Optional[int] = None,
-               team: Optional[TeamView] = None):
-        result = yield from self.co_reduce(value, "max", result_image, team)
+               team: Optional[TeamView] = None, stat: Optional[Stat] = None):
+        result = yield from self.co_reduce(value, "max", result_image, team,
+                                           stat=stat)
         return result
 
     def co_min(self, value: Any, result_image: Optional[int] = None,
-               team: Optional[TeamView] = None):
-        result = yield from self.co_reduce(value, "min", result_image, team)
+               team: Optional[TeamView] = None, stat: Optional[Stat] = None):
+        result = yield from self.co_reduce(value, "min", result_image, team,
+                                           stat=stat)
         return result
 
     def co_broadcast(self, value: Any, source_image: int,
-                     team: Optional[TeamView] = None):
+                     team: Optional[TeamView] = None,
+                     stat: Optional[Stat] = None):
         """Team broadcast from ``source_image``; returns the payload
-        everywhere.  ``team`` works as in :meth:`co_reduce`."""
+        everywhere.  ``team`` and ``stat`` work as in :meth:`co_reduce`."""
         fn = resolve("broadcast", self.config.broadcast)
         view = team if team is not None else self.current_team
-        result = yield from fn(self, view, value, source_image)
+        result = yield from self._stat_guard(
+            stat, view, fn(self, view, value, source_image)
+        )
         return result
 
-    def co_alltoall(self, payloads, team: Optional[TeamView] = None):
+    def co_alltoall(self, payloads, team: Optional[TeamView] = None,
+                    stat: Optional[Stat] = None):
         """Personalized all-to-all: ``payloads`` maps every team index
         (dict, or a list in index order) to that member's datum; returns
         the dict of received data keyed by sender.  (Extension — the
         methodology's stress test; see collectives.alltoall.)"""
         fn = resolve("alltoall", self.config.alltoall)
         view = team if team is not None else self.current_team
-        result = yield from fn(self, view, payloads)
+        result = yield from self._stat_guard(stat, view, fn(self, view, payloads))
         return result
 
-    def co_allgather(self, value: Any, team: Optional[TeamView] = None):
+    def co_allgather(self, value: Any, team: Optional[TeamView] = None,
+                     stat: Optional[Stat] = None):
         """Gather every member's contribution; returns the list ordered
         by team index, on every image.  (Extension beyond the paper's
         three collectives — the natural fourth member of the family,
         with the same flat/two-level strategy split.)"""
         fn = resolve("allgather", self.config.allgather)
         view = team if team is not None else self.current_team
-        result = yield from fn(self, view, value)
+        result = yield from self._stat_guard(stat, view, fn(self, view, value))
         return result
 
     # ------------------------------------------------------------------
@@ -470,6 +561,68 @@ class CafContext:
             raise RuntimeError("end_team without matching change_team")
         yield from self.sync_team(self.current_team)
         self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Failed images (Fortran 2018 fail-stop intrinsics)
+    # ------------------------------------------------------------------
+    def image_status(self, image: int, team: Optional[TeamView] = None) -> int:
+        """``image_status(image)``: :data:`~repro.faults.STAT_OK` or
+        :data:`~repro.faults.STAT_FAILED_IMAGE` for one member of the
+        current (or given) team.  Pure query, zero cost."""
+        proc = self._proc_of(image, team)
+        faults = self.world.faults
+        if faults is not None and faults.is_failed(proc):
+            return STAT_FAILED_IMAGE
+        return STAT_OK
+
+    def failed_images(self, team: Optional[TeamView] = None) -> List[int]:
+        """``failed_images()``: sorted team indices of the members known
+        to have failed (empty without fault injection)."""
+        faults = self.world.faults
+        if faults is None:
+            return []
+        view = team if team is not None else self.current_team
+        return faults.failed_team_indices(view.shared)
+
+    def survivor_team(self, team_number: Optional[int] = None):
+        """Re-form the current team without its failed members; returns a
+        new :class:`TeamView` (use with ``change_team`` as usual).
+
+        Every survivor computes the same member list locally from the
+        fault manager's failed set — no message exchange can depend on a
+        dead root — and :class:`~repro.teams.hierarchy.HierarchyInfo` is
+        rebuilt over the survivors, which re-elects a node leader
+        wherever the old leader died.  Implies a sync of the new team
+        (which raises/reports on any *further* failure).
+        """
+        view = self.current_team
+        shared = view.shared
+        faults = self.world.faults
+        failed = faults.failed_procs if faults is not None else frozenset()
+        members = [p for p in shared.members if p not in failed]
+        if self.proc not in members:
+            raise RuntimeError("survivor_team called from a failed image")
+        number = team_number if team_number is not None else shared.team_number
+        key = (shared.uid, tuple(members), number)
+        registry = self.world._survivor_shared
+        new_shared = registry.get(key)
+        if new_shared is None:
+            new_shared = TeamShared(
+                engine=self.engine,
+                topology=self.machine.topology,
+                members=members,
+                team_number=number,
+                parent=shared,
+                leader_strategy=self.config.leader_strategy,
+                formation_seq=shared.formation_counter,
+            )
+            registry[key] = new_shared
+        new_view = TeamView(new_shared, self.proc, parent_view=view)
+        self._log("survivor_team",
+                  f"team{shared.uid}->team{new_shared.uid} "
+                  f"({len(members)}/{shared.size} survive)")
+        yield from self.sync_team(new_view)
+        return new_view
 
     # ------------------------------------------------------------------
     # Atomics & events
@@ -615,6 +768,7 @@ def run_spmd(
     jitter_seed: int = 0,
     tiebreak_seed: Optional[int] = None,
     monitor: Optional[Any] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> SpmdResult:
     """Run ``main(ctx, *args)`` as an SPMD program on a simulated cluster.
 
@@ -630,6 +784,14 @@ def run_spmd(
     schedule.  ``monitor`` installs a concurrency monitor (e.g.
     :class:`repro.verify.HBMonitor`) on the engine for the duration of
     the run.
+
+    ``faults`` installs a deterministic :class:`repro.faults.FaultSchedule`:
+    listed images fail-stop at their times (their result is the
+    :data:`repro.faults.FAILED` sentinel) and survivors observe
+    ``STAT_FAILED_IMAGE`` at their next synchronization — via ``stat=``
+    arguments, or as a raised
+    :class:`repro.faults.FailedImageError` without one.  A null schedule
+    (or None) leaves the run byte-identical to the fault-free runtime.
     """
     if machine is None:
         if num_images is None:
@@ -660,12 +822,15 @@ def run_spmd(
         monitor.attach(machine.num_images)
         engine.monitor = monitor
 
-    world = World(machine, config, jitter_seed=jitter_seed, trace=trace)
+    world = World(machine, config, jitter_seed=jitter_seed, trace=trace,
+                  fault_schedule=faults)
     processes = []
     for proc in range(machine.num_images):
         ctx = CafContext(world, proc)
         gen = main(ctx, *args)
         processes.append(Process(engine, gen, name=f"image{proc + 1}", actor=proc))
+    if world.faults is not None:
+        world.faults.arm(processes)
     final_time = engine.run()
     return SpmdResult(
         time=final_time,

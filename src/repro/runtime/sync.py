@@ -49,6 +49,7 @@ class PairwiseSync:
         my_proc: int,
         peer_procs: Sequence[int],
         seen: Dict[int, int],
+        faults=None,
     ) -> Iterator:
         """Run one rendezvous between ``my_proc`` and each of ``peer_procs``.
 
@@ -56,10 +57,17 @@ class PairwiseSync:
         counter (mutated here).  Self-synchronization is a no-op per the
         standard.  Notifications all go out before any wait, so a set of
         images syncing pairwise cannot deadlock.
+
+        With a :class:`repro.faults.FaultManager` in ``faults``, a failed
+        partner raises :class:`~repro.faults.FailedImageError` — at entry
+        if it is already dead, or at its fail-stop instant if it dies
+        while we wait for its notification.
         """
         peers = [p for p in peer_procs if p != my_proc]
         if len(set(peers)) != len(peers):
             raise ValueError("sync images: duplicate image in list")
+        if faults is not None:
+            faults.check_images(peers)
         for peer in peers:
             cell = self.cell(my_proc, peer)
             yield from conduit.transfer(
@@ -68,7 +76,15 @@ class PairwiseSync:
             )
         for peer in peers:
             expected = seen.get(peer, 0) + 1
-            yield WaitFor(self.cell(peer, my_proc), lambda v, e=expected: v >= e)
+            waited = self.cell(peer, my_proc)
+            pred = lambda v, e=expected: v >= e  # noqa: E731
+            if faults is None:
+                yield WaitFor(waited, pred)
+            else:
+                yield from faults.wait_interruptible(
+                    waited, pred,
+                    check=lambda: faults.check_images(peers),
+                )
             seen[peer] = expected
 
 

@@ -149,6 +149,8 @@ class Process:
         schedule = engine.schedule
 
         def _resume_none() -> None:
+            if self._finished:
+                return  # fail-stopped (or completed): stale wake-up
             if engine.monitor is not None:
                 self._step_monitored(None, engine.monitor)
                 return
@@ -182,6 +184,27 @@ class Process:
     def result(self) -> Any:
         return self.done.value
 
+    def kill(self, result: Any = None) -> None:
+        """Fail-stop this process at the current instant (idempotent).
+
+        The generator is closed mid-flight (its ``finally`` blocks run),
+        any deadlock-bookkeeping entry is retired, and ``done`` triggers
+        with ``result`` so joiners are not left waiting.  Wake-ups already
+        in flight (a pending Timeout, an event the process subscribed to)
+        become no-ops via the ``_finished`` guards — a dead image never
+        executes another step.  Used by fault injection
+        (:mod:`repro.faults`); safe to call on a completed process.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self._blocked_token is not None:
+            self._engine.note_unblocked(self._blocked_token)
+            self._blocked_token = None
+        self._gen.close()
+        if not self.done.triggered:
+            self.done.trigger(result)
+
     # ------------------------------------------------------------------
     def _mark_blocked(self, verb: str, noun: str, kind: str, target: Any) -> None:
         """Register this process as blocked.  Both the human-readable
@@ -200,6 +223,8 @@ class Process:
         self._step(value)
 
     def _step(self, send_value: Any) -> None:
+        if self._finished:
+            return  # fail-stopped (or completed): stale wake-up
         monitor = self._engine.monitor
         if monitor is not None:
             self._step_monitored(send_value, monitor)
@@ -229,6 +254,8 @@ class Process:
     def _step_monitored(self, send_value: Any, monitor: Any) -> None:
         """Slow-path step: bracket the generator resume with the
         concurrency monitor's begin/end hooks (see ``repro.verify``)."""
+        if self._finished:
+            return  # fail-stopped (or completed): stale wake-up
         monitor.begin_step(self.actor)
         try:
             command = self._send(send_value)

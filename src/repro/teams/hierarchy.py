@@ -109,6 +109,14 @@ class HierarchyInfo:
         ``members`` lists global proc ids ordered by team index (position
         p holds the proc of team index p+1).
         """
+        if not members:
+            # Guard here rather than letting max()/indexing blow up later:
+            # max_images_per_node / is_flat on an empty hierarchy raised a
+            # bare "max() arg is an empty sequence".
+            raise ValueError(
+                "HierarchyInfo.build: a team needs at least one member "
+                "(got an empty member list)"
+            )
         if strategy not in LEADER_STRATEGIES:
             raise ValueError(
                 f"unknown leader strategy {strategy!r}; have {LEADER_STRATEGIES}"

@@ -14,12 +14,18 @@ Three layers, usable independently:
 * :mod:`repro.verify.conformance` — a matrix runner sweeping every
   algorithm in :mod:`repro.collectives.registry` across machine shapes,
   payloads, and fuzz seeds against sequential references.
+* :mod:`repro.verify.faultconf` — the fault conformance matrix: the
+  same collectives × shapes under injected fail-stop and message-fault
+  schedules (:mod:`repro.faults`), asserting graceful degradation
+  (every image fail-stops, completes correctly, or observes
+  ``STAT_FAILED_IMAGE``) plus run-to-run determinism.
 
 Command line::
 
     python -m repro.verify --seeds 20            # full matrix
     python -m repro.verify --quick --seeds 3     # CI smoke
     python -m repro.verify --kind barrier --shape numa -v
+    python -m repro.verify --faults --quick      # fault-injection smoke
 """
 
 from .conformance import (
@@ -31,6 +37,15 @@ from .conformance import (
     run_matrix,
 )
 from .deadlock import DeadlockAnalysis, analyze_deadlock, explain_deadlock
+from .faultconf import (
+    SCHEDULE_NAMES,
+    FaultCase,
+    FaultCaseResult,
+    build_fault_matrix,
+    make_schedule,
+    run_fault_case,
+    run_fault_matrix,
+)
 from .fuzz import (
     FuzzError,
     FuzzReport,
@@ -51,6 +66,13 @@ __all__ = [
     "DeadlockAnalysis",
     "analyze_deadlock",
     "explain_deadlock",
+    "SCHEDULE_NAMES",
+    "FaultCase",
+    "FaultCaseResult",
+    "build_fault_matrix",
+    "make_schedule",
+    "run_fault_case",
+    "run_fault_matrix",
     "FuzzError",
     "FuzzReport",
     "SeedOutcome",

@@ -23,8 +23,8 @@ Use :func:`explain_deadlock` for the one-call pretty printer::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from ..collectives.base import binomial_peers
 from ..sim.errors import DeadlockError
@@ -73,8 +73,15 @@ class DeadlockAnalysis:
     missing: List[int]
     #: potential wait-for cycles among blocked images (each a closed walk)
     cycles: List[List[int]]
+    #: 1-based global images the caller reported as fail-stopped by fault
+    #: injection (see :mod:`repro.faults`)
+    failed: List[int] = field(default_factory=list)
+    #: blocked images whose expected notifiers include a failed image —
+    #: their hang is attributed to the injected failure, not a logic bug
+    fault_attributed: List[int] = field(default_factory=list)
 
     def render(self) -> str:
+        failed_set = set(self.failed)
         lines = [
             f"deadlock wait-for analysis: {len(self.blocked)} image(s) blocked, "
             f"{len(self.missing)} image(s) exited without notifying a waiter"
@@ -91,7 +98,8 @@ class DeadlockAnalysis:
                 desc += "; expected notifiers: unknown"
             elif w.expects:
                 desc += "; expected notifiers: " + ", ".join(
-                    f"image{i}" for i in w.expects
+                    f"image{i}" + (" (FAILED)" if i in failed_set else "")
+                    for i in w.expects
                 )
             else:
                 desc += "; expected notifiers: none (self-satisfying wait)"
@@ -104,6 +112,17 @@ class DeadlockAnalysis:
         for cycle in self.cycles:
             walk = " -> ".join(f"image{i}" for i in cycle + cycle[:1])
             lines.append(f"potential wait-for cycle: {walk}")
+        if self.failed:
+            lines.append(
+                "injected fail-stops: "
+                + ", ".join(f"image{i}" for i in self.failed)
+            )
+            if self.fault_attributed:
+                lines.append(
+                    "residual hang attributed to the injected failure(s): "
+                    + ", ".join(f"image{i}" for i in self.fault_attributed)
+                    + " wait(s) on a failed notifier"
+                )
         if not self.missing and not self.cycles:
             lines.append("no cycle found among blocked images")
         return "\n".join(lines)
@@ -248,23 +267,39 @@ def _find_cycles(edges: Dict[int, Set[int]]) -> List[List[int]]:
     return sccs
 
 
-def analyze_deadlock(err: DeadlockError) -> DeadlockAnalysis:
+def analyze_deadlock(err: DeadlockError,
+                     failed: Optional[Iterable[int]] = None) -> DeadlockAnalysis:
     """Build a :class:`DeadlockAnalysis` from a deadlock's structured
     details (raised by any engine run with :class:`~repro.sim.Process`
-    waiters — no monitor required)."""
+    waiters — no monitor required).
+
+    ``failed`` optionally lists 1-based global images that were
+    fail-stopped by fault injection; any waiter whose expected notifiers
+    include one of them is *attributed* to the failure rather than to an
+    algorithmic bug (and the report says so).
+    """
     waiters: List[WaiterRecord] = []
     for info in err.details:
         target = info.target
+        kind = info.kind
+        if kind == "event":
+            # A failure-aware wait (repro.faults) blocks on a wrapper
+            # event carrying the real awaited cell — unwrap it so the
+            # analysis keeps its team/round/mailbox context.
+            inner = getattr(target, "cell", None)
+            if inner is not None:
+                target = inner
+                kind = "cell"
         meta = getattr(target, "meta", None)
-        value = getattr(target, "value", None) if info.kind == "cell" else None
+        value = getattr(target, "value", None) if kind == "cell" else None
         waiters.append(WaiterRecord(
             image=info.actor + 1 if isinstance(info.actor, int) else None,
             process=info.process,
-            kind=info.kind,
+            kind=kind,
             target_name=getattr(target, "name", "") or "<anonymous>",
             value=value,
-            context=_cell_context(meta) if info.kind == "cell" else "",
-            expects=_expected_writers(meta) if info.kind == "cell" else None,
+            context=_cell_context(meta) if kind == "cell" else "",
+            expects=_expected_writers(meta) if kind == "cell" else None,
         ))
 
     blocked = sorted({w.image for w in waiters if w.image is not None})
@@ -278,11 +313,25 @@ def analyze_deadlock(err: DeadlockError) -> DeadlockAnalysis:
         edges[w.image].update(i for i in w.expects if i in blocked_set)
     missing = sorted(expected_union - blocked_set)
     cycles = _find_cycles(edges)
+    failed_list = sorted(set(failed)) if failed else []
+    failed_set = set(failed_list)
+    # failed images cannot be "missing notifiers" in the bug sense — they
+    # are dead by design
+    missing = [i for i in missing if i not in failed_set]
+    fault_attributed = sorted({
+        w.image for w in waiters
+        if w.image is not None and w.expects
+        and failed_set.intersection(w.expects)
+    })
     return DeadlockAnalysis(
-        waiters=waiters, blocked=blocked, missing=missing, cycles=cycles
+        waiters=waiters, blocked=blocked, missing=missing, cycles=cycles,
+        failed=failed_list, fault_attributed=fault_attributed,
     )
 
 
-def explain_deadlock(err: DeadlockError) -> str:
-    """Pretty-print the wait-for diagnosis of a deadlock."""
-    return analyze_deadlock(err).render()
+def explain_deadlock(err: DeadlockError,
+                     failed: Optional[Iterable[int]] = None) -> str:
+    """Pretty-print the wait-for diagnosis of a deadlock; ``failed``
+    attributes residual hangs to injected fail-stops (see
+    :func:`analyze_deadlock`)."""
+    return analyze_deadlock(err, failed=failed).render()

@@ -1,0 +1,336 @@
+"""Fault conformance matrix: every registered collective × machine shape
+× fault schedule, with a determinism double-run.
+
+The contract under test is the runtime's graceful-degradation promise
+(see :mod:`repro.faults` and docs/faults.md): under any fault schedule,
+every image either
+
+* **fail-stops** (its result is the :data:`~repro.faults.FAILED`
+  sentinel) because the schedule killed it, or
+* **completes** its rounds with reference-correct results (schedules
+  that kill nobody — including the message-drop schedule, whose
+  retransmit model delays but never loses data), or
+* **observes** ``STAT_FAILED_IMAGE`` via ``stat=`` at a synchronization
+  after the failure instant — and *every* survivor does, because the
+  entry check makes detection a property of the next collective call,
+  not of the algorithm's communication pattern.
+
+No cell may hang: a :class:`~repro.sim.errors.DeadlockError` fails the
+case with a wait-for analysis that attributes the hang to the injected
+failure (:func:`repro.verify.deadlock.explain_deadlock` with
+``failed=``), so a genuine liveness bug is distinguishable from fault
+fallout at a glance.
+
+Each case also runs **twice** and must produce identical canonical
+outcomes and final simulated time — the determinism half of the fault
+model's guarantee.
+
+Schedules (the ISSUE's minimum set):
+
+``none``
+    Null schedule — exercises the ``stat=`` plumbing on the byte-identical
+    fault-free path.
+``slave-fails``
+    Image 2 dies mid-run: on hierarchical shapes a non-leader slave; its
+    node leader must notice while waiting for intranode arrival.
+``leader-fails``
+    Image 1 dies mid-run: the lowest index is the node leader under the
+    default election *and* the root of every rooted algorithm — the
+    worst participant to lose.
+``message-drop``
+    No deaths; 20% seeded drop with bounded retransmits on every
+    inter-node message.  Everything must still complete with correct
+    results, just later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from ..faults import FAILED, FaultSchedule, ImageFailure, Stat
+from ..runtime.config import UHCAF_2LEVEL
+from ..runtime.program import run_spmd
+from ..sim.errors import DeadlockError, ProcessFailure
+from .conformance import KINDS, SHAPES, Shape, _CONFIG_FIELD
+from .deadlock import explain_deadlock
+from .fuzz import canonicalize, semantic_equal
+
+__all__ = ["SCHEDULE_NAMES", "FaultCase", "FaultCaseResult",
+           "make_schedule", "build_fault_matrix", "run_fault_case",
+           "run_fault_matrix"]
+
+#: simulated instant of the injected fail-stops — early enough that every
+#: shape is still mid-rounds, late enough that the run is well underway
+FAIL_TIME = 25e-6
+#: rounds each image attempts under a killing schedule before the harness
+#: declares the failure unobserved (each round costs simulated time, so
+#: the cap is never reached: the first post-failure round trips the
+#: entry check)
+MAX_ROUNDS = 2000
+#: rounds of the fixed-length (non-killing) probes
+STEADY_ROUNDS = 3
+
+SCHEDULE_NAMES = ("none", "slave-fails", "leader-fails", "message-drop")
+
+
+def make_schedule(name: str) -> FaultSchedule:
+    """The named fault plan of the conformance matrix."""
+    if name == "none":
+        return FaultSchedule()
+    if name == "slave-fails":
+        return FaultSchedule(failures=(ImageFailure(image=2, time=FAIL_TIME),))
+    if name == "leader-fails":
+        return FaultSchedule(failures=(ImageFailure(image=1, time=FAIL_TIME),))
+    if name == "message-drop":
+        return FaultSchedule(drop_rate=0.2, max_retransmits=3,
+                             retransmit_timeout=3e-6, seed=7)
+    raise ValueError(f"unknown fault schedule {name!r}; have {SCHEDULE_NAMES}")
+
+
+# ----------------------------------------------------------------------
+# The probe: stat-aware collective rounds
+# ----------------------------------------------------------------------
+def _round_value(kind: str, me: int, n: int, r: int) -> Any:
+    """Image ``me``'s contribution in round ``r`` (round-stamped so a
+    stale round's data can never satisfy a later round's check)."""
+    if kind == "alltoall":
+        return {j: me * 1000 + j * 10 + r for j in range(1, n + 1)}
+    return me * 1000 + r
+
+
+def _reference(kind: str, me: int, n: int, r: int) -> Any:
+    """What image ``me`` must hold after a *completed* round ``r``."""
+    if kind == "barrier":
+        return "sync"
+    if kind == "reduce":  # integer sum: exact
+        return sum(_round_value(kind, i, n, r) for i in range(1, n + 1))
+    if kind == "broadcast":
+        return _round_value(kind, min(2, n), n, r)
+    if kind == "allgather":
+        return [_round_value(kind, i, n, r) for i in range(1, n + 1)]
+    if kind == "alltoall":
+        return {j: j * 1000 + me * 10 + r for j in range(1, n + 1)}
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def _probe(ctx, kind: str, rounds: int) -> Iterator:
+    """Loop stat-aware rounds of one collective kind.
+
+    Returns the list of per-round outcomes: the round's result while the
+    team is whole, then the terminal ``("stat", failed_indices)`` entry
+    once a failure is observed.  A surviving image therefore ends with
+    the stat marker iff a failure happened, and the harness can assert
+    that *uniformly* across survivors.
+    """
+    me = ctx.this_image()
+    n = ctx.num_images()
+    outcomes: List[Any] = []
+    for r in range(rounds):
+        st = Stat()
+        value = _round_value(kind, me, n, r)
+        if kind == "barrier":
+            yield from ctx.sync_all(stat=st)
+            result = "sync"
+        elif kind == "reduce":
+            result = yield from ctx.co_reduce(value, op="sum", stat=st)
+        elif kind == "broadcast":
+            result = yield from ctx.co_broadcast(
+                value, source_image=min(2, n), stat=st
+            )
+        elif kind == "allgather":
+            result = yield from ctx.co_allgather(value, stat=st)
+        elif kind == "alltoall":
+            result = yield from ctx.co_alltoall(value, stat=st)
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+        if not st.ok:
+            # cross-check the intrinsics agree with the stat= report
+            assert ctx.failed_images(), "stat set but failed_images() empty"
+            outcomes.append(("stat", tuple(st.failed_indices)))
+            return outcomes
+        outcomes.append(result)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Cases
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultCase:
+    kind: str
+    alg: str
+    shape: str
+    schedule: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}/{self.alg} @{self.shape} !{self.schedule}"
+
+
+@dataclass
+class FaultCaseResult:
+    case: FaultCase
+    ok: bool
+    detail: str = ""
+
+
+def build_fault_matrix(
+    quick: bool = False,
+    kinds: Optional[List[str]] = None,
+    algs: Optional[List[str]] = None,
+    shapes: Optional[List[str]] = None,
+    schedules: Optional[List[str]] = None,
+) -> List[FaultCase]:
+    """Enumerate collective × shape × schedule cells, optionally
+    filtered.  ``quick`` keeps the fast shapes and, per kind, only the
+    paper's two-level algorithm plus the flat baseline (the CI smoke
+    set); the full matrix covers every registered algorithm."""
+    cases = []
+    for kind, table in KINDS.items():
+        if kinds and kind not in kinds:
+            continue
+        names = list(table)
+        if quick:
+            names = [names[0], getattr(UHCAF_2LEVEL, _CONFIG_FIELD[kind])]
+            names = list(dict.fromkeys(names))  # dedupe, keep order
+        for alg in names:
+            if algs and alg not in algs:
+                continue
+            for shape in SHAPES.values():
+                if quick and not shape.quick:
+                    continue
+                if shapes and shape.name not in shapes:
+                    continue
+                for sched in SCHEDULE_NAMES:
+                    if schedules and sched not in schedules:
+                        continue
+                    cases.append(FaultCase(kind, alg, shape.name, sched))
+    return cases
+
+
+def _run_once(case: FaultCase, shape: Shape, schedule: FaultSchedule):
+    config = UHCAF_2LEVEL.with_(**{_CONFIG_FIELD[case.kind]: case.alg})
+    rounds = MAX_ROUNDS if schedule.failures else STEADY_ROUNDS
+    return run_spmd(
+        _probe,
+        num_images=shape.num_images,
+        images_per_node=shape.images_per_node,
+        spec=shape.spec,
+        config=config,
+        args=(case.kind, rounds),
+        faults=schedule,
+    )
+
+
+def _check_outcomes(case: FaultCase, shape: Shape, schedule: FaultSchedule,
+                    result) -> List[str]:
+    """The conformance predicate: fail-stopped, completed correctly, or
+    observed STAT_FAILED_IMAGE — per image, with no fourth possibility."""
+    problems: List[str] = []
+    n = shape.num_images
+    killed = {f.image for f in schedule.failures}
+    expected_failed = tuple(sorted(killed))
+    for img, out in enumerate(result.results, start=1):
+        if img in killed:
+            if out != FAILED:
+                problems.append(
+                    f"image{img} was scheduled to fail at {FAIL_TIME:g}s but "
+                    f"returned {out!r}"
+                )
+            continue
+        if not isinstance(out, list) or not out:
+            problems.append(f"image{img} returned no outcomes: {out!r}")
+            continue
+        if killed:
+            last = out[-1]
+            if not (isinstance(last, tuple) and last[0] == "stat"):
+                problems.append(
+                    f"image{img} never observed STAT_FAILED_IMAGE "
+                    f"(last outcome: {last!r})"
+                )
+            elif last[1] != expected_failed:
+                problems.append(
+                    f"image{img} reported failed indices {last[1]} "
+                    f"(expected {expected_failed})"
+                )
+            completed = out[:-1]
+        else:
+            completed = out
+            if len(completed) != STEADY_ROUNDS:
+                problems.append(
+                    f"image{img} completed {len(completed)} round(s), "
+                    f"expected {STEADY_ROUNDS}"
+                )
+        # every round completed before the failure must be reference-correct
+        for r, got in enumerate(completed):
+            want = _reference(case.kind, img, n, r)
+            if not semantic_equal(canonicalize(got), canonicalize(want)):
+                problems.append(
+                    f"image{img} round {r}: got {got!r}, expected {want!r} "
+                    f"— silent wrong result"
+                )
+                break
+    return problems
+
+
+def run_fault_case(case: FaultCase) -> FaultCaseResult:
+    """Run one cell twice (determinism check included); never raises."""
+    shape = SHAPES[case.shape]
+    schedule = make_schedule(case.schedule)
+    failed_images = sorted(f.image for f in schedule.failures)
+    try:
+        first = _run_once(case, shape, schedule)
+        second = _run_once(case, shape, schedule)
+    except DeadlockError as err:
+        return FaultCaseResult(case, ok=False, detail=(
+            "hang (graceful degradation failed):\n"
+            + explain_deadlock(err, failed=failed_images)
+        ))
+    except ProcessFailure as err:
+        return FaultCaseResult(case, ok=False,
+                               detail=f"image crashed: {err}")
+    except AssertionError as err:
+        return FaultCaseResult(case, ok=False,
+                               detail=f"probe assertion failed: {err}")
+    problems = _check_outcomes(case, shape, schedule, first)
+    if (canonicalize(first.results) != canonicalize(second.results)
+            or first.time != second.time):
+        problems.append(
+            f"non-deterministic: two identical runs diverged "
+            f"(times {first.time:.9g}s vs {second.time:.9g}s)"
+        )
+    return FaultCaseResult(case, ok=not problems, detail="\n".join(problems))
+
+
+def run_fault_matrix(
+    cases: List[FaultCase],
+    progress=None,
+    jobs=None,
+    cache=None,
+    task_timeout: Optional[float] = None,
+    stats_out: Optional[dict] = None,
+) -> List[FaultCaseResult]:
+    """Run ``cases``, optionally fanned across a worker pool and served
+    from a :class:`repro.exec.ResultCache` — same contract as
+    :func:`repro.verify.conformance.run_matrix`."""
+    from ..exec import TaskSpec, run_tasks
+
+    tasks = [TaskSpec(run_fault_case, (case,), label=case.label)
+             for case in cases]
+    results: List[FaultCaseResult] = []
+
+    def on_result(tres) -> None:
+        case = cases[tres.index]
+        if tres.ok:
+            result = tres.value
+        else:
+            result = FaultCaseResult(case=case, ok=False,
+                                     detail=f"harness: {tres.error}")
+        results.append(result)
+        if progress is not None:
+            progress(result)
+
+    run_tasks(tasks, jobs=jobs, cache=cache, task_timeout=task_timeout,
+              progress=on_result, stats_out=stats_out)
+    return results

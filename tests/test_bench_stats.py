@@ -14,8 +14,14 @@ class TestReplicaStats:
         s = ReplicaStats.of([1.0, 2.0, 3.0])
         assert s.mean == 2.0
         assert s.minimum == 1.0 and s.maximum == 3.0
-        assert s.std == pytest.approx((2 / 3) ** 0.5)
+        # sample (Bessel-corrected) std: sqrt(((1)^2 + 0 + (1)^2) / (3-1))
+        assert s.std == pytest.approx(1.0)
         assert s.spread == pytest.approx(1.0)
+
+    def test_std_is_sample_not_population(self):
+        # two samples: population /n would give half the variance
+        s = ReplicaStats.of([0.0, 2.0])
+        assert s.std == pytest.approx(2.0 ** 0.5)
 
     def test_single_sample(self):
         s = ReplicaStats.of([5.0])

@@ -50,10 +50,69 @@ class TestPathResolution:
         _, c = make(aware=False)
         assert c.resolve_path(0, 1, "direct") == "direct"
 
+    def test_forced_loopback_cross_node_rejected(self):
+        # Regression: this used to silently fall through to the remote
+        # branch and return "remote" — a forced intra-node path between
+        # images on different nodes is a caller bug exactly like forced
+        # direct, and must be rejected the same way.
+        _, c = make()
+        with pytest.raises(ValueError, match="different nodes"):
+            c.resolve_path(0, 4, "loopback")
+
+    def test_forced_path_matrix(self):
+        """Every (forced path × placement) combination, pinned."""
+        _, c = make(aware=True)
+        same, cross = (0, 1), (0, 4)
+        assert c.resolve_path(*same, "remote") == "loopback"
+        assert c.resolve_path(*same, "loopback") == "loopback"
+        assert c.resolve_path(*same, "direct") == "direct"
+        assert c.resolve_path(*cross, "remote") == "remote"
+        with pytest.raises(ValueError, match="different nodes"):
+            c.resolve_path(*cross, "loopback")
+        with pytest.raises(ValueError, match="different nodes"):
+            c.resolve_path(*cross, "direct")
+
     def test_unknown_path_rejected(self):
         _, c = make()
         with pytest.raises(ValueError, match="unknown path"):
             c.resolve_path(0, 1, "warp")
+
+
+class TestForcedPathTransfers:
+    """The same matrix end-to-end: forced paths through transfer and
+    transfer_nb must land in the right counter or raise before any cost
+    is charged."""
+
+    @pytest.mark.parametrize("nonblocking", [False, True],
+                             ids=["transfer", "transfer_nb"])
+    def test_forced_paths_counted_per_resolved_path(self, nonblocking):
+        eng, c = make(aware=False)
+
+        def proc():
+            send = c.transfer_nb if nonblocking else c.transfer
+            yield from send(0, 4, 8, path="remote")      # cross: remote
+            yield from send(0, 1, 8, path="remote")      # same: degrades
+            yield from send(0, 1, 8, path="loopback")
+            yield from send(0, 1, 8, path="direct")
+
+        drive(eng, proc())
+        assert c.counts == {"remote": 1, "loopback": 2, "direct": 1}
+
+    @pytest.mark.parametrize("nonblocking", [False, True],
+                             ids=["transfer", "transfer_nb"])
+    @pytest.mark.parametrize("path", ["loopback", "direct"])
+    def test_forced_intranode_cross_node_raises_without_cost(
+            self, nonblocking, path):
+        eng, c = make(aware=False)
+
+        def proc():
+            send = c.transfer_nb if nonblocking else c.transfer
+            with pytest.raises(ValueError, match="different nodes"):
+                yield from send(0, 4, 8, path=path)
+
+        drive(eng, proc())
+        assert eng.now == 0.0  # rejected before charging any time
+        assert c.counts == {"remote": 0, "loopback": 0, "direct": 0}
 
 
 class TestCosts:

@@ -1,0 +1,299 @@
+"""Fail-stop fault injection and the ``failed images`` semantics.
+
+The runtime's promise (docs/faults.md): under a deterministic
+:class:`~repro.faults.FaultSchedule`, killed images fail-stop silently,
+survivors observe ``STAT_FAILED_IMAGE`` at their next synchronization
+(via ``stat=``, or as error termination without one), and a null
+schedule leaves the run byte-identical to the fault-free runtime.
+"""
+
+import re
+
+import pytest
+
+from repro.faults import (
+    FAILED,
+    STAT_FAILED_IMAGE,
+    STAT_OK,
+    FailedImageError,
+    FaultSchedule,
+    ImageFailure,
+    Stat,
+    parse_schedule,
+)
+from repro.sim import DeadlockError, ProcessFailure
+from repro.verify.deadlock import analyze_deadlock
+from tests.conftest import run_small
+
+FAIL_3_AT_20US = FaultSchedule(failures=(ImageFailure(3, 20e-6),))
+
+
+def _norm_trace(trace):
+    """Trace rows with team uids normalized: the uid counter is process-
+    global, so two runs in one process differ only in that cosmetic."""
+    return [(t, img, op, re.sub(r"team\d+", "teamX", detail))
+            for (t, img, op, detail) in trace]
+
+
+def _sync_rounds(ctx, rounds=10):
+    """Stat-aware barrier loop; returns rounds completed + observation."""
+    done = 0
+    for _ in range(rounds):
+        st = Stat()
+        yield from ctx.sync_all(stat=st)
+        if not st.ok:
+            return ("stat", st.code, tuple(st.failed_indices), done)
+        done += 1
+        yield from ctx.compute(seconds=5e-6)
+    return ("ok", done)
+
+
+# ----------------------------------------------------------------------
+class TestScheduleParsing:
+    def test_parse_full_clause_set(self):
+        sched = parse_schedule("fail:3@50e-6,fail:7@80e-6,drop:0.1,seed:42")
+        assert [(f.image, f.time) for f in sched.failures] == [
+            (3, 50e-6), (7, 80e-6)]
+        assert sched.drop_rate == 0.1
+        assert sched.seed == 42
+        assert not sched.is_null
+
+    def test_parse_empty_is_null(self):
+        assert parse_schedule("").is_null
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="bad fault-schedule clause"):
+            parse_schedule("explode:now")
+        with pytest.raises(ValueError, match="bad fault-schedule clause"):
+            parse_schedule("fail:three@nine")
+
+    def test_failures_sorted_by_time(self):
+        sched = FaultSchedule(failures=(
+            ImageFailure(1, 9e-6), ImageFailure(2, 3e-6)))
+        assert [f.image for f in sched.failures] == [2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImageFailure(0, 1e-6)
+        with pytest.raises(ValueError):
+            ImageFailure(1, -1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule(max_retransmits=-1)
+
+    def test_schedule_beyond_image_count_rejected(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+
+        with pytest.raises(ValueError, match="only 2 images"):
+            run_small(main, images=2,
+                      faults=FaultSchedule(failures=(ImageFailure(9, 1e-6),)))
+
+
+# ----------------------------------------------------------------------
+class TestFailStop:
+    def test_survivors_observe_via_stat(self):
+        result = run_small(_sync_rounds, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[2] == FAILED
+        for img, out in enumerate(result.results, start=1):
+            if img == 3:
+                continue
+            kind, code, failed, done = out
+            assert (kind, code, failed) == ("stat", STAT_FAILED_IMAGE, (3,))
+            assert done >= 1  # rounds before the 20µs failure completed
+
+    def test_error_termination_without_stat(self):
+        def main(ctx):
+            for _ in range(10):
+                yield from ctx.sync_all()
+                yield from ctx.compute(seconds=5e-6)
+
+        with pytest.raises(ProcessFailure) as exc:
+            run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert isinstance(exc.value.original, FailedImageError)
+        assert "image3" in str(exc.value.original)
+
+    def test_completed_image_cannot_fail(self):
+        """A failure scheduled after an image finished is a no-op."""
+        def main(ctx):
+            yield from ctx.sync_all()
+            return "done"
+
+        result = run_small(
+            main, images=2,
+            faults=FaultSchedule(failures=(ImageFailure(1, 1.0),)))
+        assert result.results == ["done", "done"]
+
+    def test_image_status_and_failed_images(self):
+        def main(ctx):
+            st = Stat()
+            for _ in range(10):
+                yield from ctx.sync_all(stat=st)
+                if not st.ok:
+                    break
+                yield from ctx.compute(seconds=5e-6)
+            return (ctx.image_status(3), ctx.image_status(1),
+                    ctx.failed_images())
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        for img, out in enumerate(result.results, start=1):
+            if img == 3:
+                assert out == FAILED
+            else:
+                assert out == (STAT_FAILED_IMAGE, STAT_OK, [3])
+
+    def test_stat_cleared_on_success(self):
+        def main(ctx):
+            st = Stat()
+            st.code = 77  # stale garbage must be overwritten
+            yield from ctx.sync_all(stat=st)
+            return (st.code, st.failed_indices)
+
+        result = run_small(main, images=2)
+        assert result.results == [(STAT_OK, ())] * 2
+
+    def test_sync_images_reports_failed_partner(self):
+        def main(ctx):
+            me = ctx.this_image()
+            st = Stat()
+            for _ in range(10):
+                if me in (1, 3):
+                    yield from ctx.sync_images([3 if me == 1 else 1],
+                                               stat=st)
+                    if not st.ok:
+                        return ("stat", tuple(st.failed_indices))
+                yield from ctx.compute(seconds=5e-6)
+            return "no failure seen"
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[0] == ("stat", (3,))
+        assert result.results[2] == FAILED
+
+    def test_collectives_report_stat(self):
+        def main(ctx):
+            st = Stat()
+            total = None
+            for r in range(10):
+                total = yield from ctx.co_sum(ctx.this_image(), stat=st)
+                if not st.ok:
+                    return ("stat", tuple(st.failed_indices))
+                assert total == 10  # 1+2+3+4: pre-failure rounds are exact
+                yield from ctx.compute(seconds=5e-6)
+            return "no failure seen"
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        for img, out in enumerate(result.results, start=1):
+            assert out == (FAILED if img == 3 else ("stat", (3,)))
+
+
+# ----------------------------------------------------------------------
+class TestSurvivorTeam:
+    def test_reformation_excludes_failed_and_reelects_leader(self):
+        """Kill image 1 — node 0's leader — and re-form: the survivor
+        team must elect a new leader and still run collectives."""
+        def main(ctx):
+            st = Stat()
+            for _ in range(20):
+                yield from ctx.sync_all(stat=st)
+                if not st.ok:
+                    break
+                yield from ctx.compute(seconds=5e-6)
+            else:
+                return "never saw the failure"
+            new_view = yield from ctx.survivor_team()
+            yield from ctx.change_team(new_view)
+            total = yield from ctx.co_sum(1)
+            h = new_view.shared.hierarchy
+            info = (new_view.size, new_view.index, total,
+                    sorted(h.leaders))
+            yield from ctx.end_team()
+            return info
+
+        result = run_small(
+            main, images=4,
+            faults=FaultSchedule(failures=(ImageFailure(1, 20e-6),)))
+        assert result.results[0] == FAILED
+        # three survivors, re-indexed 1..3, collective spans exactly them
+        for pos, out in zip(range(1, 4), result.results[1:]):
+            size, index, total, leaders = out
+            assert size == 3 and index == pos and total == 3
+            # 2 nodes of 2: node 0 lost its leader (old image 1) — the
+            # new team must still have one leader per populated node
+            assert len(leaders) == 2
+
+    def test_survivor_team_raises_for_failed_caller(self):
+        """The dead image never runs again, so only survivors can even
+        call survivor_team — verify the sane-at-a-distance path: calling
+        with no failures returns the same membership."""
+        def main(ctx):
+            view = yield from ctx.survivor_team()
+            return (view.size, view.index)
+
+        result = run_small(main, images=4)
+        assert result.results == [(4, i) for i in range(1, 5)]
+
+
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_null_schedule_is_byte_identical(self):
+        plain = run_small(_sync_rounds, images=4, trace=True)
+        null = run_small(_sync_rounds, images=4, trace=True,
+                         faults=FaultSchedule())
+        assert null.time == plain.time
+        assert null.results == plain.results
+        assert _norm_trace(null.trace) == _norm_trace(plain.trace)
+
+    def test_fault_runs_repeat_exactly(self):
+        a = run_small(_sync_rounds, images=4, trace=True,
+                      faults=FAIL_3_AT_20US)
+        b = run_small(_sync_rounds, images=4, trace=True,
+                      faults=FAIL_3_AT_20US)
+        assert a.time == b.time
+        assert a.results == b.results
+        assert _norm_trace(a.trace) == _norm_trace(b.trace)
+
+    def test_drop_schedule_completes_with_correct_results(self):
+        def main(ctx):
+            totals = []
+            for _ in range(5):
+                total = yield from ctx.co_sum(ctx.this_image())
+                totals.append(int(total))
+            return totals
+
+        drops = FaultSchedule(drop_rate=0.8, seed=11)
+        slow = run_small(main, images=4, faults=drops)
+        fast = run_small(main, images=4)
+        assert slow.results == fast.results == [[10] * 5] * 4
+        # retransmits cost sender-visible time on the remote path
+        assert slow.time > fast.time
+
+
+# ----------------------------------------------------------------------
+class TestDeadlockAttribution:
+    def test_residual_hang_attributed_to_injected_failure(self):
+        """A wait that is *not* failure-aware (a bare coarray spin via
+        sync primitives would be; use a pairwise sync without faults
+        plumbed... simplest: an image waiting on a peer's flag outside
+        any collective) hangs when the peer dies — the analyzer must say
+        the hang is fault fallout, not an algorithm bug."""
+        def main(ctx):
+            ev = yield from ctx.event_var("never")
+            me = ctx.this_image()
+            if me == 1:
+                # Event waits are deliberately not failure-aware (they
+                # model user-level signalling, not team sync): parking
+                # on an event the dead image would have posted hangs.
+                yield from ctx.event_wait(ev)
+            elif me == 3:
+                for _ in range(100):
+                    yield from ctx.compute(seconds=5e-6)
+                yield from ctx.event_post(ev, 1)
+            return "ok"
+
+        with pytest.raises(DeadlockError) as exc:
+            run_small(main, images=4, faults=FAIL_3_AT_20US)
+        analysis = analyze_deadlock(exc.value, failed=[3])
+        assert analysis.failed == [3]
+        rendered = analysis.render()
+        assert "injected fail-stops: image3" in rendered

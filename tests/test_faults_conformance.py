@@ -1,0 +1,63 @@
+"""Smoke slice of the fault conformance matrix (the full sweep runs via
+``python -m repro.verify --faults``; 704 cells pass at the time of
+writing).  Here: the paper's two-level algorithms on the canonical 2x4
+hierarchy under every schedule, plus the matrix builder's filters."""
+
+import pytest
+
+from repro.verify.faultconf import (
+    SCHEDULE_NAMES,
+    build_fault_matrix,
+    make_schedule,
+    run_fault_case,
+)
+
+
+class TestScheduleCatalog:
+    def test_named_schedules_cover_the_issue_minimum(self):
+        assert set(SCHEDULE_NAMES) == {
+            "none", "slave-fails", "leader-fails", "message-drop"}
+        assert make_schedule("none").is_null
+        assert make_schedule("slave-fails").failures[0].image == 2
+        assert make_schedule("leader-fails").failures[0].image == 1
+        assert make_schedule("message-drop").has_link_faults
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault schedule"):
+            make_schedule("meteor-strike")
+
+
+class TestMatrixBuilder:
+    def test_full_matrix_covers_every_kind_and_schedule(self):
+        cases = build_fault_matrix()
+        kinds = {c.kind for c in cases}
+        assert kinds == {"barrier", "reduce", "broadcast", "allgather",
+                         "alltoall"}
+        assert {c.schedule for c in cases} == set(SCHEDULE_NAMES)
+        # every registered algorithm appears under every schedule
+        per_sched = {s: {(c.kind, c.alg) for c in cases if c.schedule == s}
+                     for s in SCHEDULE_NAMES}
+        assert len(set(map(frozenset, per_sched.values()))) == 1
+
+    def test_filters_compose(self):
+        cases = build_fault_matrix(kinds=["barrier"], shapes=["2x4"],
+                                   schedules=["leader-fails"])
+        assert cases and all(
+            c.kind == "barrier" and c.shape == "2x4"
+            and c.schedule == "leader-fails" for c in cases)
+
+
+@pytest.mark.parametrize("schedule", SCHEDULE_NAMES)
+@pytest.mark.parametrize("kind,alg", [
+    ("barrier", "tdlb"),
+    ("reduce", "two-level"),
+    ("broadcast", "two-level"),
+    ("allgather", "two-level"),
+    ("alltoall", "two-level"),
+])
+def test_paper_algorithms_survive_faults_on_2x4(kind, alg, schedule):
+    cases = build_fault_matrix(kinds=[kind], algs=[alg], shapes=["2x4"],
+                               schedules=[schedule])
+    assert len(cases) == 1
+    result = run_fault_case(cases[0])
+    assert result.ok, result.detail

@@ -59,6 +59,12 @@ class TestStructure:
         with pytest.raises(ValueError, match="strategy"):
             build(4, ipn=2, strategy="coin-flip")
 
+    def test_empty_member_list_rejected_with_clear_message(self):
+        # Regression: used to surface later as a bare "max() arg is an
+        # empty sequence" from max_images_per_node.
+        with pytest.raises(ValueError, match="at least one member"):
+            build(4, ipn=2, members=[])
+
     def test_slaves_of_excludes_leader(self):
         h = build(8, ipn=4)
         assert h.slaves_of(1) == [2, 3, 4]
