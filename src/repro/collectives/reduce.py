@@ -64,8 +64,24 @@ AM_HANDLER_COST = 3.6e-6
 def _combine(op, a: Any, b: Any) -> Any:
     if callable(op):
         # F2018 co_reduce with a user operation: any commutative,
-        # associative callable.
-        return op(a, b)
+        # associative callable.  A crashing or None-returning operation
+        # would otherwise surface images-deep inside an algorithm as a
+        # nonsense partial on one image only; fail loudly and uniformly.
+        try:
+            result = op(a, b)
+        except Exception as exc:
+            name = getattr(op, "__name__", repr(op))
+            raise RuntimeError(
+                f"co_reduce user operation {name!r} raised "
+                f"{type(exc).__name__}: {exc} (combining {a!r} and {b!r})"
+            ) from exc
+        if result is None:
+            name = getattr(op, "__name__", repr(op))
+            raise RuntimeError(
+                f"co_reduce user operation {name!r} returned None "
+                f"(forgot the return?) combining {a!r} and {b!r}"
+            )
+        return result
     if op == "maxloc":
         # (value, location) pairs: larger value wins, ties to lower location
         # — the semantics HPL's pivot search needs.

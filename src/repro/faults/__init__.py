@@ -33,10 +33,18 @@ See ``docs/faults.md`` for the fault model, determinism guarantee and
 from .manager import (
     FAILED,
     STAT_FAILED_IMAGE,
+    STAT_LOCKED,
     STAT_OK,
+    STAT_STOPPED_IMAGE,
+    STAT_UNLOCKED,
+    STAT_UNLOCKED_FAILED_IMAGE,
     FailedImageError,
     FaultManager,
+    ImageControlError,
+    ImageLiveness,
+    LockError,
     Stat,
+    StoppedImageError,
     wait_or_fail,
 )
 from .schedule import FaultSchedule, ImageFailure, parse_schedule
@@ -44,12 +52,20 @@ from .schedule import FaultSchedule, ImageFailure, parse_schedule
 __all__ = [
     "FAILED",
     "STAT_FAILED_IMAGE",
+    "STAT_LOCKED",
     "STAT_OK",
+    "STAT_STOPPED_IMAGE",
+    "STAT_UNLOCKED",
+    "STAT_UNLOCKED_FAILED_IMAGE",
     "FailedImageError",
     "FaultManager",
     "FaultSchedule",
+    "ImageControlError",
     "ImageFailure",
+    "ImageLiveness",
+    "LockError",
     "Stat",
+    "StoppedImageError",
     "parse_schedule",
     "wait_or_fail",
 ]

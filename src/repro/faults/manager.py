@@ -40,8 +40,10 @@ from ..sim.process import Process, Wait, WaitFor
 from .schedule import FaultSchedule
 
 __all__ = [
-    "STAT_OK", "STAT_FAILED_IMAGE", "FAILED", "Stat", "FailedImageError",
-    "FaultManager", "wait_or_fail",
+    "STAT_OK", "STAT_FAILED_IMAGE", "STAT_STOPPED_IMAGE", "STAT_LOCKED",
+    "STAT_UNLOCKED", "STAT_UNLOCKED_FAILED_IMAGE", "FAILED", "Stat",
+    "ImageControlError", "FailedImageError", "StoppedImageError",
+    "LockError", "ImageLiveness", "FaultManager", "wait_or_fail",
 ]
 
 #: ``stat=`` value of a successful operation.
@@ -50,35 +52,110 @@ STAT_OK = 0
 #: reproduction's stand-in for Fortran 2018's ``STAT_FAILED_IMAGE``
 #: constant from ``ISO_FORTRAN_ENV``.
 STAT_FAILED_IMAGE = 101
+#: ``stat=`` value when an involved image has initiated normal
+#: termination (F2018 ``STAT_STOPPED_IMAGE``) — distinct from fail-stop.
+STAT_STOPPED_IMAGE = 102
+#: ``lock`` on a variable the acquirer already holds, or a contended
+#: non-blocking acquire (F2008 ``STAT_LOCKED``).
+STAT_LOCKED = 103
+#: ``unlock`` of a variable the caller does not hold (``STAT_UNLOCKED``).
+STAT_UNLOCKED = 104
+#: Lock acquired after its previous holder fail-stopped without
+#: unlocking (F2018 ``STAT_UNLOCKED_FAILED_IMAGE``).
+STAT_UNLOCKED_FAILED_IMAGE = 105
 
 #: Per-image result recorded for an image killed by fail-stop injection.
 FAILED = "<failed image>"
 
+_STAT_NAMES = {
+    STAT_OK: "STAT_OK",
+    STAT_FAILED_IMAGE: "STAT_FAILED_IMAGE",
+    STAT_STOPPED_IMAGE: "STAT_STOPPED_IMAGE",
+    STAT_LOCKED: "STAT_LOCKED",
+    STAT_UNLOCKED: "STAT_UNLOCKED",
+    STAT_UNLOCKED_FAILED_IMAGE: "STAT_UNLOCKED_FAILED_IMAGE",
+}
 
-class FailedImageError(RuntimeError):
+
+class ImageControlError(RuntimeError):
+    """Base of every image-control error condition the runtime can map to
+    a ``stat=`` code: a statement executed without ``STAT=`` raises one
+    of these; with ``STAT=`` the same condition is caught and mirrored
+    into the :class:`Stat`.  ``code`` is the stat constant; the indices
+    name the images the condition is about.
+    """
+
+    code: int = STAT_FAILED_IMAGE
+
+    def __init__(self, message: str,
+                 failed_indices: Sequence[int] = (),
+                 team_number: Optional[int] = None):
+        self.failed_indices: List[int] = sorted(failed_indices)
+        self.team_number = team_number
+        super().__init__(message)
+
+
+class FailedImageError(ImageControlError):
     """A synchronization or collective involved a failed image and no
     ``stat=`` was supplied — the analogue of Fortran's error termination
     when ``STAT=`` is absent.  ``failed_indices`` are team-relative
     (1-based) when ``team_number`` is set, global image indices otherwise.
     """
 
+    code = STAT_FAILED_IMAGE
+
     def __init__(self, failed_indices: Sequence[int],
                  team_number: Optional[int] = None):
-        self.failed_indices: List[int] = sorted(failed_indices)
-        self.team_number = team_number
-        names = ", ".join(f"image{i}" for i in self.failed_indices)
+        indices = sorted(failed_indices)
+        names = ", ".join(f"image{i}" for i in indices)
         where = (f"in team#{team_number}" if team_number is not None
                  else "among the awaited images")
-        super().__init__(f"STAT_FAILED_IMAGE: failed image(s) {names} {where}")
+        super().__init__(
+            f"STAT_FAILED_IMAGE: failed image(s) {names} {where}",
+            failed_indices=indices, team_number=team_number,
+        )
+
+
+class StoppedImageError(ImageControlError):
+    """An image-control statement involved an image that has initiated
+    normal termination.  Same indexing convention as
+    :class:`FailedImageError`; ``failed_indices`` holds the stopped ones.
+    """
+
+    code = STAT_STOPPED_IMAGE
+
+    def __init__(self, stopped_indices: Sequence[int],
+                 team_number: Optional[int] = None):
+        indices = sorted(stopped_indices)
+        names = ", ".join(f"image{i}" for i in indices)
+        where = (f"in team#{team_number}" if team_number is not None
+                 else "among the involved images")
+        super().__init__(
+            f"STAT_STOPPED_IMAGE: stopped image(s) {names} {where}",
+            failed_indices=indices, team_number=team_number,
+        )
+
+
+class LockError(ImageControlError):
+    """A ``lock``/``unlock`` error condition (``STAT_LOCKED``,
+    ``STAT_UNLOCKED``, or ``STAT_UNLOCKED_FAILED_IMAGE``).  The code is
+    per-instance, unlike the class-level codes above."""
+
+    def __init__(self, message: str, code: int,
+                 failed_indices: Sequence[int] = ()):
+        super().__init__(message, failed_indices=failed_indices)
+        self.code = code
 
 
 class Stat:
     """Mutable mirror of a Fortran ``stat=`` specifier.
 
-    Pass one to any ``sync_*`` / ``co_*`` call; afterwards ``code`` is
-    :data:`STAT_OK` or :data:`STAT_FAILED_IMAGE` and ``failed_indices``
-    names the failed participants the operation observed.  Without a
-    ``Stat``, the same condition raises :class:`FailedImageError`.
+    Pass one to any ``sync_*`` / ``co_*`` / image-control call;
+    afterwards ``code`` is :data:`STAT_OK` or one of the error constants
+    (:data:`STAT_FAILED_IMAGE`, :data:`STAT_STOPPED_IMAGE`,
+    :data:`STAT_LOCKED`, ...) and ``failed_indices`` names the
+    failed/stopped participants the operation observed.  Without a
+    ``Stat``, the same condition raises an :class:`ImageControlError`.
     """
 
     __slots__ = ("code", "failed_indices")
@@ -95,13 +172,57 @@ class Stat:
         self.code = STAT_OK
         self.failed_indices = ()
 
-    def _set_failure(self, err: FailedImageError) -> None:
-        self.code = STAT_FAILED_IMAGE
+    def _set(self, err: ImageControlError) -> None:
+        self.code = err.code
         self.failed_indices = tuple(err.failed_indices)
 
+    # historical name, kept for callers predating the error hierarchy
+    _set_failure = _set
+
     def __repr__(self) -> str:
-        label = "STAT_OK" if self.ok else "STAT_FAILED_IMAGE"
+        label = _STAT_NAMES.get(self.code, str(self.code))
         return f"Stat({label}, failed={list(self.failed_indices)})"
+
+
+class ImageLiveness:
+    """Tracks images that have initiated *normal* termination — the third
+    image state of F2018 (``STAT_STOPPED_IMAGE``), distinct from the
+    fail-stops the :class:`FaultManager` tracks.  One per World; always
+    present even in fault-free runs, because any image may simply return
+    from its program while teammates keep synchronizing.
+    """
+
+    def __init__(self, num_images: int):
+        self.num_images = num_images
+        self._stopped: set = set()
+
+    def mark_stopped(self, proc: int) -> None:
+        """Record that 0-based ``proc`` completed its program normally."""
+        self._stopped.add(proc)
+
+    def is_stopped(self, proc: int) -> bool:
+        return proc in self._stopped
+
+    @property
+    def stopped_procs(self) -> frozenset:
+        return frozenset(self._stopped)
+
+    def stopped_team_indices(self, shared: Any) -> List[int]:
+        """Team-relative 1-based indices of this team's stopped members."""
+        p2i = shared.proc_to_index
+        return sorted(p2i[p] for p in self._stopped if p in p2i)
+
+    def check_team(self, shared: Any) -> None:
+        """Raise :class:`StoppedImageError` if any team member stopped."""
+        stopped = self.stopped_team_indices(shared)
+        if stopped:
+            raise StoppedImageError(stopped, shared.team_number)
+
+    def check_images(self, procs: Iterable[int]) -> None:
+        """Raise if any of the given 0-based procs has stopped."""
+        stopped = sorted(p + 1 for p in procs if p in self._stopped)
+        if stopped:
+            raise StoppedImageError(stopped, team_number=None)
 
 
 class _FaultWait(SimEvent):

@@ -28,13 +28,20 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..calibration import ConduitProfile
+from ..collectives.reduce import REDUCE_OPS
 from ..collectives.registry import resolve
 from ..faults.manager import (
     STAT_FAILED_IMAGE,
     STAT_OK,
+    STAT_STOPPED_IMAGE,
+    STAT_UNLOCKED_FAILED_IMAGE,
     FailedImageError,
     FaultManager,
+    ImageControlError,
+    ImageLiveness,
+    LockError,
     Stat,
+    StoppedImageError,
 )
 from ..faults.schedule import FaultSchedule
 from ..machine import Machine, MachineSpec, Placement, TrafficSnapshot, build_machine, paper_cluster
@@ -98,6 +105,10 @@ class World:
             parent=None,
             leader_strategy=config.leader_strategy,
         )
+        #: normal-termination tracker — the third image state of F2018
+        #: (stopped, vs. running and failed); always present, because any
+        #: image may return from its program while teammates synchronize
+        self.liveness = ImageLiveness(machine.num_images)
         self.pairwise = PairwiseSync(self.engine)
         self.coarrays: Dict[str, Coarray] = {}
         self.atomic_vars: Dict[str, AtomicVar] = {}
@@ -383,42 +394,56 @@ class CafContext:
     # ------------------------------------------------------------------
     def _catch_stat(self, stat: Optional[Stat], gen):
         """Run a synchronization/collective generator under ``stat=``
-        semantics: a :class:`FailedImageError` either lands in ``stat``
-        (``STAT_FAILED_IMAGE``) or propagates (error termination) when no
-        ``stat`` was supplied — exactly the standard's dichotomy."""
-        if self.world.faults is None:
+        semantics: an :class:`ImageControlError` (failed image, stopped
+        image, lock condition) either lands in ``stat`` or propagates
+        (error termination) when no ``stat`` was supplied — exactly the
+        standard's dichotomy."""
+        if self.world.faults is None and stat is None:
             result = yield from gen
-            if stat is not None:
-                stat._clear()
             return result
         try:
             result = yield from gen
-        except FailedImageError as err:
+        except ImageControlError as err:
             gen.close()
             if stat is None:
                 raise
-            stat._set_failure(err)
+            stat._set(err)
             return None
         if stat is not None:
             stat._clear()
         return result
 
-    def _stat_guard(self, stat: Optional[Stat], view: TeamView, gen):
-        """:meth:`_catch_stat` plus the *entry check*: a team operation
+    def _stat_guard(self, stat: Optional[Stat], view: TeamView, gen,
+                    check_stopped: bool = False):
+        """:meth:`_catch_stat` plus the *entry checks*: a team operation
         started after a member failed observes the failure immediately,
         even on images whose role in the algorithm never blocks (e.g. a
         broadcast source) — this is what makes failure detection a
-        guarantee of the next synchronization, not of the next wait."""
-        faults = self.world.faults
-        if faults is not None:
-            try:
-                faults.check_team(view.shared)
-            except FailedImageError as err:
-                gen.close()
-                if stat is None:
-                    raise
-                stat._set_failure(err)
-                return None
+        guarantee of the next synchronization, not of the next wait.
+
+        Stopped-image detection (``check_stopped``) is entry-check-only,
+        applies only to ``stat=``-bearing statements, and only to
+        *synchronization* statements: a teammate's normal termination
+        never wakes an in-flight wait (it bumps no epoch), a stat-less
+        statement keeps the historical behavior (it may deadlock, and
+        the deadlock analysis attributes it), and one-way collectives
+        stay permissive — a broadcast source legitimately finishes its
+        rounds and stops while receivers still drain their mailboxes.
+        The failed check always precedes the stopped check —
+        ``STAT_FAILED_IMAGE`` wins when a team has both.
+        """
+        shared = getattr(view, "shared", view)
+        try:
+            if self.world.faults is not None:
+                self.world.faults.check_team(shared)
+            if check_stopped and stat is not None:
+                self.world.liveness.check_team(shared)
+        except ImageControlError as err:
+            gen.close()
+            if stat is None:
+                raise
+            stat._set(err)
+            return None
         result = yield from self._catch_stat(stat, gen)
         return result
 
@@ -436,7 +461,8 @@ class CafContext:
         """``sync team(T)``: barrier over team ``T`` (must be the current
         team or an ancestor/descendant this image belongs to)."""
         barrier = resolve("barrier", self.config.barrier)
-        yield from self._stat_guard(stat, team, barrier(self, team))
+        yield from self._stat_guard(stat, team, barrier(self, team),
+                                    check_stopped=True)
 
     def sync_images(self, images: Union[str, Sequence[int]],
                     stat: Optional[Stat] = None):
@@ -451,10 +477,24 @@ class CafContext:
             peers = [view.shared.proc_of(i) for i in range(1, view.size + 1)]
         else:
             peers = [view.shared.proc_of(i) for i in images]
-        yield from self._catch_stat(stat, self.world.pairwise.sync_images(
+        gen = self.world.pairwise.sync_images(
             self.conduit, self.proc, peers, self._sync_seen,
             faults=self.world.faults,
-        ))
+        )
+        if stat is not None:
+            # Entry checks scoped to the named peers: failed first (the
+            # standard's priority), then normally-stopped.
+            try:
+                if self.world.faults is not None:
+                    self.world.faults.check_images(peers)
+                self.world.liveness.check_images(
+                    p for p in peers if p != self.proc
+                )
+            except ImageControlError as err:
+                gen.close()
+                stat._set(err)
+                return None
+        yield from self._catch_stat(stat, gen)
 
     def sync_memory(self):
         """``sync memory``: local fence."""
@@ -475,7 +515,16 @@ class CafContext:
         to avoid a ``change team`` round-trip per call.  ``stat``
         receives ``STAT_FAILED_IMAGE`` instead of raising when a team
         member has failed.
+
+        ``op`` is a named reduction or a user-supplied binary callable
+        (F2018 ``co_reduce`` with a user ``operation``); unknown names
+        are rejected here, before any image communicates.
         """
+        if not callable(op) and op not in REDUCE_OPS and op != "maxloc":
+            raise ValueError(
+                f"unknown reduce op {op!r} (not callable either); "
+                f"have {sorted(REDUCE_OPS) + ['maxloc']}"
+            )
         fn = resolve("reduce", self.config.reduce)
         view = team if team is not None else self.current_team
         result = yield from self._stat_guard(
@@ -566,13 +615,16 @@ class CafContext:
     # Failed images (Fortran 2018 fail-stop intrinsics)
     # ------------------------------------------------------------------
     def image_status(self, image: int, team: Optional[TeamView] = None) -> int:
-        """``image_status(image)``: :data:`~repro.faults.STAT_OK` or
-        :data:`~repro.faults.STAT_FAILED_IMAGE` for one member of the
+        """``image_status(image)``: :data:`~repro.faults.STAT_OK`,
+        :data:`~repro.faults.STAT_FAILED_IMAGE`, or
+        :data:`~repro.faults.STAT_STOPPED_IMAGE` for one member of the
         current (or given) team.  Pure query, zero cost."""
         proc = self._proc_of(image, team)
         faults = self.world.faults
         if faults is not None and faults.is_failed(proc):
             return STAT_FAILED_IMAGE
+        if self.world.liveness.is_stopped(proc):
+            return STAT_STOPPED_IMAGE
         return STAT_OK
 
     def failed_images(self, team: Optional[TeamView] = None) -> List[int]:
@@ -583,6 +635,13 @@ class CafContext:
             return []
         view = team if team is not None else self.current_team
         return faults.failed_team_indices(view.shared)
+
+    def stopped_images(self, team: Optional[TeamView] = None) -> List[int]:
+        """``stopped_images()``: sorted team indices of the members that
+        have initiated *normal* termination — disjoint from
+        :meth:`failed_images` (fail-stop and stop are distinct states)."""
+        view = team if team is not None else self.current_team
+        return self.world.liveness.stopped_team_indices(view.shared)
 
     def survivor_team(self, team_number: Optional[int] = None):
         """Re-form the current team without its failed members; returns a
@@ -659,66 +718,166 @@ class CafContext:
         )
         return old
 
-    def event_var(self, name: str):
+    def event_var(self, name: str, stat: Optional[Stat] = None):
+        """Collectively create/attach a team-scoped event coarray;
+        implies SYNC ALL (``stat`` guards that barrier)."""
         registry = self.world.event_vars
-        if name not in registry:
-            registry[name] = EventVar(self.conduit, name)
-        yield from self.sync_all()
-        return registry[name]
+        shared = self.current_team.shared
+        key = f"t{shared.uid}:{name}"
+        if key not in registry:
+            registry[key] = EventVar(self.conduit, name, shared=shared)
+        yield from self.sync_all(stat=stat)
+        return registry[key]
 
-    def event_post(self, var: EventVar, image: int):
-        yield from var.post(self.proc, self._proc_of(image))
+    def event_post(self, var: EventVar, image: int,
+                   stat: Optional[Stat] = None):
+        """``event post(ev[image])``: bump the owner's count.  On a
+        hierarchy-aware runtime a cross-node post is leader-mediated
+        (see :class:`~repro.runtime.events.EventVar`).  ``image`` is an
+        index in the variable's own team.  A failed owner raises/reports
+        ``STAT_FAILED_IMAGE``; a normally-stopped owner reports
+        ``STAT_STOPPED_IMAGE`` when ``stat`` is supplied (and is
+        silently tolerated otherwise — the count lands, nobody reads it)."""
+        dst = (var.shared.proc_of(image) if var.shared is not None
+               else self._proc_of(image))
+        self._log("event_post", f"{var.name}[{image}]")
 
-    def event_wait(self, var: EventVar, until_count: int = 1):
-        yield from var.wait(self.proc, until_count)
+        def guarded():
+            faults = self.world.faults
+            if faults is not None and faults.is_failed(dst):
+                raise FailedImageError([dst + 1])
+            if stat is not None and self.world.liveness.is_stopped(dst):
+                raise StoppedImageError([dst + 1])
+            yield from var.post(self.proc, dst, faults=faults)
+
+        yield from self._catch_stat(stat, guarded())
+
+    def event_wait(self, var: EventVar, until_count: int = 1,
+                   stat: Optional[Stat] = None):
+        """``event wait(ev, until_count=c)`` on my own count; consumes
+        the posts.  Failure-aware on team-scoped variables: a teammate's
+        fail-stop lands in ``stat``/raises instead of starving the wait."""
+        self._log("event_wait", f"{var.name} until={until_count}")
+        yield from self._catch_stat(
+            stat, var.wait(self.proc, until_count, faults=self.world.faults)
+        )
 
     def event_query(self, var: EventVar) -> int:
         return var.pending(self.proc)
 
     # ------------------------------------------------------------------
-    # Locks (F2008 lock_type)
+    # Locks (F2008/F2018 lock_type)
     # ------------------------------------------------------------------
-    def lock_var(self, name: str):
-        """Collectively create/attach a lock coarray; implies SYNC ALL."""
+    def lock_var(self, name: str, stat: Optional[Stat] = None):
+        """Collectively create/attach a team-scoped lock coarray;
+        implies SYNC ALL (``stat`` guards that barrier)."""
         registry = self.world.lock_vars
-        if name not in registry:
-            registry[name] = LockVar(self.conduit, name)
-        yield from self.sync_all()
-        return registry[name]
+        shared = self.current_team.shared
+        key = f"t{shared.uid}:{name}"
+        if key not in registry:
+            registry[key] = LockVar(self.conduit, name, shared=shared)
+        yield from self.sync_all(stat=stat)
+        return registry[key]
 
-    def lock(self, var: LockVar, image: int, team: Optional[TeamView] = None):
-        """``lock(l[image])``: acquire with remote CAS + backoff."""
+    def lock(self, var: LockVar, image: int, team: Optional[TeamView] = None,
+             blocking: bool = True, stat: Optional[Stat] = None):
+        """``lock(l[image])``: acquire; returns True when acquired.
+
+        ``blocking=False`` is the ``ACQUIRED_LOCK=`` form: a contended
+        acquire returns False immediately (``stat`` receives
+        ``STAT_LOCKED`` when supplied).  Acquiring over a fail-stopped
+        holder succeeds with ``STAT_UNLOCKED_FAILED_IMAGE`` — an error
+        termination without ``stat``, since the protected state may be
+        torn.  ``image`` resolves in the variable's own team when it has
+        one, else in ``team``/the current team."""
+        home = (var.shared.proc_of(image) if var.shared is not None
+                else self._proc_of(image, team))
         self._log("lock", f"{var.name}[{image}]")
-        yield from var.acquire(self.proc, self._proc_of(image, team))
+        if stat is not None:
+            stat._clear()
+        try:
+            faults = self.world.faults
+            if faults is not None:
+                faults.check_images([home])
+            if stat is not None and home != self.proc:
+                self.world.liveness.check_images([home])
+            acquired, code, failed = yield from var.acquire(
+                self.proc, home, blocking=blocking, faults=faults
+            )
+        except ImageControlError as err:
+            if stat is None:
+                raise
+            stat._set(err)
+            return False
+        if code != STAT_OK:
+            if stat is not None:
+                stat.code = code
+                stat.failed_indices = tuple(failed)
+            elif code == STAT_UNLOCKED_FAILED_IMAGE:
+                raise LockError(
+                    f"lock {var.name!r} acquired after its holder "
+                    f"image{failed[0]} failed (STAT_UNLOCKED_FAILED_IMAGE)",
+                    code=STAT_UNLOCKED_FAILED_IMAGE,
+                    failed_indices=failed,
+                )
+            # contended non-blocking without stat: the plain
+            # ACQUIRED_LOCK= form — just report False
+        return acquired
 
-    def unlock(self, var: LockVar, image: int, team: Optional[TeamView] = None):
-        """``unlock(l[image])``: release (must be the holder)."""
+    def unlock(self, var: LockVar, image: int, team: Optional[TeamView] = None,
+               stat: Optional[Stat] = None):
+        """``unlock(l[image])``: release (must be the holder);
+        ``stat`` receives ``STAT_UNLOCKED`` when not the holder.
+
+        A *stopped* home is deliberately not reported here: the release
+        must still land (the caller owns the word, and skipping it would
+        wedge every blocked contender on a reporting-only condition) —
+        a stopped home surfaces on the acquire side instead."""
+        home = (var.shared.proc_of(image) if var.shared is not None
+                else self._proc_of(image, team))
         self._log("unlock", f"{var.name}[{image}]")
-        yield from var.release(self.proc, self._proc_of(image, team))
+
+        def guarded():
+            faults = self.world.faults
+            if faults is not None:
+                faults.check_images([home])
+            yield from var.release(self.proc, home)
+
+        yield from self._catch_stat(stat, guarded())
 
     # ------------------------------------------------------------------
-    # Critical construct (F2008)
+    # Critical construct (F2008/F2018)
     # ------------------------------------------------------------------
-    def critical_begin(self, name: str = "critical"):
-        """Enter the named ``critical`` construct: at most one image
-        executes the bracketed code at a time.  Lowered (as in OpenUH) to
-        a runtime lock homed on image 1 of the initial team.  Pair with
-        :meth:`critical_end`; distinct ``name``\\ s are independent
-        constructs, as distinct CRITICAL blocks are in Fortran."""
+    def critical_begin(self, name: str = "critical",
+                       stat: Optional[Stat] = None):
+        """Enter the named ``critical`` construct: at most one image of
+        the current team executes the bracketed code at a time.  Lowered
+        (as in OpenUH) to a runtime lock homed on team index 1.  Pair
+        with :meth:`critical_end`; distinct ``name``\\ s are independent
+        constructs, as distinct CRITICAL blocks are in Fortran.  Returns
+        True when entered (F2018: ``stat`` reports lock conditions —
+        ``STAT_UNLOCKED_FAILED_IMAGE`` when the previous occupant
+        fail-stopped inside the construct)."""
         registry = self.world.lock_vars
-        key = f"__critical__{name}"
+        shared = self.current_team.shared
+        key = f"__critical__t{shared.uid}:{name}"
         var = registry.get(key)
         if var is None:
             # First arrival creates the underlying lock; no collective
             # allocation is needed (the construct is statically named).
-            var = registry[key] = LockVar(self.conduit, key)
+            var = registry[key] = LockVar(
+                self.conduit, f"__critical__{name}", shared=shared
+            )
         self._log("critical", name)
-        yield from var.acquire(self.proc, 0)
+        entered = yield from self.lock(var, 1, stat=stat)
+        return entered
 
-    def critical_end(self, name: str = "critical"):
+    def critical_end(self, name: str = "critical",
+                     stat: Optional[Stat] = None):
         """Leave the named ``critical`` construct."""
-        var = self.world.lock_vars[f"__critical__{name}"]
-        yield from var.release(self.proc, 0)
+        shared = self.current_team.shared
+        var = self.world.lock_vars[f"__critical__t{shared.uid}:{name}"]
+        yield from self.unlock(var, 1, stat=stat)
 
     # ------------------------------------------------------------------
     # Local work
@@ -752,6 +911,17 @@ class SpmdResult:
         """Chronological (time, image, op, detail) records, when the run
         was launched with ``trace=True``."""
         return self.world.trace
+
+
+def _finishing(gen, liveness, proc: int):
+    """Wrap an image's main generator so its *normal* end of execution
+    marks the image stopped (F2018: a normally-terminated image is a
+    "stopped image", distinct from a fail-stopped one).  ``yield from``
+    is transparent, so wrapping changes no schedule; a fail-stop kill
+    (GeneratorExit) or an escaping error skips the mark."""
+    result = yield from gen
+    liveness.mark_stopped(proc)
+    return result
 
 
 def run_spmd(
@@ -827,7 +997,7 @@ def run_spmd(
     processes = []
     for proc in range(machine.num_images):
         ctx = CafContext(world, proc)
-        gen = main(ctx, *args)
+        gen = _finishing(main(ctx, *args), world.liveness, proc)
         processes.append(Process(engine, gen, name=f"image{proc + 1}", actor=proc))
     if world.faults is not None:
         world.faults.arm(processes)

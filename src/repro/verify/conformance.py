@@ -91,9 +91,15 @@ KINDS: Dict[str, dict] = {
     "broadcast": registry.BROADCASTS,
     "allgather": registry.ALLGATHERS,
     "alltoall": registry.ALLTOALLS,
+    # Image-control primitives have one runtime implementation each (no
+    # registry): the "algorithm" name documents the mechanism under test.
+    "event": {"leader-mediated": None},
+    "lock": {"cas-wait": None},
+    "critical": {"lock-based": None},
 }
 
-#: config field each kind's algorithm name plugs into
+#: config field each kind's algorithm name plugs into (image-control
+#: kinds have no config knob — their single implementation always runs)
 _CONFIG_FIELD = {"barrier": "barrier", "reduce": "reduce",
                  "broadcast": "broadcast", "allgather": "allgather",
                  "alltoall": "alltoall"}
@@ -105,6 +111,9 @@ PAYLOADS: Dict[str, Tuple[str, ...]] = {
     "broadcast": ("int", "farray"),
     "allgather": ("int", "farray"),
     "alltoall": ("int",),
+    "event": ("counts",),
+    "lock": ("counter",),
+    "critical": ("counter",),
 }
 
 
@@ -168,6 +177,66 @@ def _alltoall_program(ctx) -> Iterator:
     return got
 
 
+def _event_program(ctx, rounds: int) -> Iterator:
+    """Ring of posts: every image posts ``rounds`` times to its right
+    neighbour, waits for its own ``rounds`` posts in one consuming wait
+    (the query after it must read 0), then one more post/wait round after
+    a barrier — cross-round isolation of the counts."""
+    me = ctx.this_image()
+    n = ctx.num_images()
+    ev = yield from ctx.event_var("verify_ev")
+    right = me % n + 1
+    for _ in range(rounds):
+        yield from ctx.event_post(ev, right)
+    yield from ctx.event_wait(ev, until_count=rounds)
+    q1 = ctx.event_query(ev)
+    yield from ctx.sync_all()
+    yield from ctx.event_post(ev, right)
+    yield from ctx.event_wait(ev)
+    q2 = ctx.event_query(ev)
+    return [q1, q2]
+
+
+def _lock_counter_rounds(ctx, home: int, enter, leave, rounds: int):
+    """Shared body of the lock/critical probes: a lock-protected
+    read-modify-write on a counter coarray living on ``home``.  Lost
+    updates (broken mutual exclusion) or missing happens-before edges
+    (flagged by the riding HBMonitor) fail the case."""
+    box = yield from ctx.allocate("verify_ic_ctr", (1,), dtype=np.int64)
+    for _ in range(rounds):
+        yield from enter()
+        cur = yield from ctx.get(box, home)
+        yield from ctx.compute(seconds=0.5e-6)  # widen the race window
+        yield from ctx.put(box, home, np.int64(int(cur[0]) + 1), index=0)
+        yield from leave()
+    yield from ctx.sync_all()
+    final = yield from ctx.get(box, home)
+    return int(final[0])
+
+
+def _lock_program(ctx, rounds: int) -> Iterator:
+    n = ctx.num_images()
+    home = min(2, n)
+    lk = yield from ctx.lock_var("verify_lk")
+    total = yield from _lock_counter_rounds(
+        ctx, home,
+        lambda: ctx.lock(lk, home),
+        lambda: ctx.unlock(lk, home),
+        rounds,
+    )
+    return total
+
+
+def _critical_program(ctx, rounds: int) -> Iterator:
+    total = yield from _lock_counter_rounds(
+        ctx, 1,
+        lambda: ctx.critical_begin("verify_cr"),
+        lambda: ctx.critical_end("verify_cr"),
+        rounds,
+    )
+    return total
+
+
 def _build_probe(kind: str, payload: str, n: int):
     """(program, args, expected per-image results) for one case."""
     if kind == "barrier":
@@ -192,6 +261,15 @@ def _build_probe(kind: str, payload: str, n: int):
         expected = [{j: j * 100 + i for j in range(1, n + 1)}
                     for i in range(1, n + 1)]
         return _alltoall_program, (), expected
+    if kind == "event":
+        rounds = 3
+        return _event_program, (rounds,), [[0, 0]] * n
+    if kind == "lock":
+        rounds = 2
+        return _lock_program, (rounds,), [rounds * n] * n
+    if kind == "critical":
+        rounds = 2
+        return _critical_program, (rounds,), [rounds * n] * n
     raise ValueError(f"unknown kind {kind!r}")
 
 
@@ -252,7 +330,9 @@ def run_case(case: Case, seeds: int = 3) -> CaseResult:
     monitoring.  Never raises — failures land in the result."""
     shape = SHAPES[case.shape]
     nseeds = min(seeds, shape.seed_cap) if shape.seed_cap else seeds
-    config = UHCAF_2LEVEL.with_(**{_CONFIG_FIELD[case.kind]: case.alg})
+    overrides = ({_CONFIG_FIELD[case.kind]: case.alg}
+                 if case.kind in _CONFIG_FIELD else {})
+    config = UHCAF_2LEVEL.with_(**overrides)
     program, prog_args, expected = _build_probe(
         case.kind, case.payload, shape.num_images
     )

@@ -161,9 +161,12 @@ def _diss_writers(meta: dict) -> Optional[List[int]]:
     return [_global_image(team, writer)]
 
 
-def _expected_writers(meta: Optional[dict]) -> Optional[List[int]]:
+def _expected_writers(meta: Optional[dict],
+                      value: Any = None) -> Optional[List[int]]:
     """1-based global images expected to write the cell, or None if the
-    cell carries no usable metadata."""
+    cell carries no usable metadata.  ``value`` is the cell's current
+    value when the caller has it — a lock word *is* its holder, so the
+    expected notifier of a stuck acquire is whoever holds the lock."""
     if not meta:
         return None
     kind = meta.get("kind")
@@ -171,11 +174,22 @@ def _expected_writers(meta: Optional[dict]) -> Optional[List[int]]:
         return [meta["notifier"] + 1]
     if kind == "diss":
         return _diss_writers(meta)
+    if kind == "lock":
+        # lock word: 0 = free, else the holder's 1-based global image.
+        # A waiter blocked on a free word is about to retry (transient);
+        # report no notifier rather than a wrong one.
+        if isinstance(value, int) and value > 0:
+            return [int(value)]
+        return None
     team = meta.get("team")
     if team is None:
         return None
     index = meta.get("index")
     h = team.hierarchy
+    if kind == "event":
+        # Any teammate may post; a starved wait can only name them all.
+        return sorted(_global_image(team, i)
+                      for i in range(1, team.size + 1) if i != index)
     if kind == "cocounter":
         slaves = h.slaves_of(index)
         writers = slaves if slaves else [i for i in range(1, team.size + 1)
@@ -199,6 +213,8 @@ def _cell_context(meta: Optional[dict]) -> str:
     if kind == "syncimg":
         return (f"pairwise sync {_image(meta['notifier'])}"
                 f"->{_image(meta['waiter'])}")
+    if kind == "lock":
+        return f"lock {meta['var']!r}, home {_image(meta['home'])}"
     team = meta.get("team")
     if team is None:
         return kind
@@ -299,7 +315,8 @@ def analyze_deadlock(err: DeadlockError,
             target_name=getattr(target, "name", "") or "<anonymous>",
             value=value,
             context=_cell_context(meta) if kind == "cell" else "",
-            expects=_expected_writers(meta) if kind == "cell" else None,
+            expects=(_expected_writers(meta, value)
+                     if kind == "cell" else None),
         ))
 
     blocked = sorted({w.image for w in waiters if w.image is not None})

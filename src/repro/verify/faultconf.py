@@ -48,7 +48,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
-from ..faults import FAILED, FaultSchedule, ImageFailure, Stat
+from ..faults import (
+    FAILED,
+    STAT_STOPPED_IMAGE,
+    STAT_UNLOCKED_FAILED_IMAGE,
+    FaultSchedule,
+    ImageFailure,
+    Stat,
+)
 from ..runtime.config import UHCAF_2LEVEL
 from ..runtime.program import run_spmd
 from ..sim.errors import DeadlockError, ProcessFailure
@@ -111,20 +118,47 @@ def _reference(kind: str, me: int, n: int, r: int) -> Any:
         return [_round_value(kind, i, n, r) for i in range(1, n + 1)]
     if kind == "alltoall":
         return {j: j * 1000 + me * 10 + r for j in range(1, n + 1)}
+    if kind == "event":
+        return "event"
+    if kind == "lock":
+        return "locked"
+    if kind == "critical":
+        return "critical"
     raise ValueError(f"unknown kind {kind!r}")
 
 
 def _probe(ctx, kind: str, rounds: int) -> Iterator:
-    """Loop stat-aware rounds of one collective kind.
+    """Loop stat-aware rounds of one collective or image-control kind.
 
     Returns the list of per-round outcomes: the round's result while the
     team is whole, then the terminal ``("stat", failed_indices)`` entry
     once a failure is observed.  A surviving image therefore ends with
     the stat marker iff a failure happened, and the harness can assert
     that *uniformly* across survivors.
+
+    Image-control kinds have two wrinkles the collective kinds do not:
+
+    * ``STAT_UNLOCKED_FAILED_IMAGE`` means the probe *acquired* the lock
+      over a fail-stopped holder — it must release before reporting, or
+      blocked contenders would hang on a word nobody frees;
+    * ``STAT_STOPPED_IMAGE`` means a peer terminated *normally* before
+      we touched it — in this matrix that only happens as fallout of an
+      injected failure observed earlier by that peer, so the probe
+      reports the failure itself (``failed_images()``), keeping the
+      terminal marker uniform across survivors.
     """
     me = ctx.this_image()
     n = ctx.num_images()
+    home = min(2, n)
+    ev = lk = None
+    if kind in ("event", "lock"):
+        st0 = Stat()
+        if kind == "event":
+            ev = yield from ctx.event_var("fc_ev", stat=st0)
+        else:
+            lk = yield from ctx.lock_var("fc_lk", stat=st0)
+        if not st0.ok:
+            return [("stat", tuple(st0.failed_indices))]
     outcomes: List[Any] = []
     for r in range(rounds):
         st = Stat()
@@ -142,14 +176,68 @@ def _probe(ctx, kind: str, rounds: int) -> Iterator:
             result = yield from ctx.co_allgather(value, stat=st)
         elif kind == "alltoall":
             result = yield from ctx.co_alltoall(value, stat=st)
+        elif kind == "event":
+            # ring: post right, consume my left's post
+            yield from ctx.event_post(ev, me % n + 1, stat=st)
+            if st.ok:
+                yield from ctx.event_wait(ev, stat=st)
+            result = "event"
+        elif kind in ("lock", "critical"):
+            # team-wide detection first: images interacting only through
+            # an alive lock home would otherwise never observe a death
+            yield from ctx.sync_all(stat=st)
+            if st.ok:
+                if kind == "lock":
+                    yield from ctx.lock(lk, home, stat=st)
+                else:
+                    yield from ctx.critical_begin("fc_cr", stat=st)
+                if st.code == STAT_UNLOCKED_FAILED_IMAGE:
+                    # we hold the dead holder's lock: free it first
+                    if kind == "lock":
+                        yield from ctx.unlock(lk, home)
+                    else:
+                        yield from ctx.critical_end("fc_cr")
+                    outcomes.append(("stat", tuple(st.failed_indices)))
+                    return outcomes
+                if st.ok:
+                    yield from ctx.compute(seconds=0.5e-6)
+                    st2 = Stat()
+                    if kind == "lock":
+                        yield from ctx.unlock(lk, home, stat=st2)
+                    else:
+                        yield from ctx.critical_end("fc_cr", stat=st2)
+                    if st2.code == STAT_STOPPED_IMAGE:
+                        # reporting-only condition: the word must still be
+                        # freed or blocked contenders hang forever
+                        if kind == "lock":
+                            yield from ctx.unlock(lk, home)
+                        else:
+                            yield from ctx.critical_end("fc_cr")
+                    if not st2.ok:
+                        st = st2
+            result = "locked" if kind == "lock" else "critical"
         else:
             raise ValueError(f"unknown kind {kind!r}")
         if not st.ok:
+            if st.code == STAT_STOPPED_IMAGE:
+                # normal-termination fallout of an earlier failure
+                failed = tuple(ctx.failed_images())
+                assert failed, "STAT_STOPPED_IMAGE with no injected failure"
+                outcomes.append(("stat", failed))
+                return outcomes
             # cross-check the intrinsics agree with the stat= report
             assert ctx.failed_images(), "stat set but failed_images() empty"
             outcomes.append(("stat", tuple(st.failed_indices)))
             return outcomes
         outcomes.append(result)
+    if kind in ("lock", "critical"):
+        # hold every image until all rounds are done: without this, the
+        # home image could terminate normally while latecomers still
+        # contend, turning a clean run into spurious STAT_STOPPED_IMAGE
+        st = Stat()
+        yield from ctx.sync_all(stat=st)
+        if not st.ok:
+            outcomes.append(("stat", tuple(st.failed_indices)))
     return outcomes
 
 
@@ -192,8 +280,11 @@ def build_fault_matrix(
             continue
         names = list(table)
         if quick:
-            names = [names[0], getattr(UHCAF_2LEVEL, _CONFIG_FIELD[kind])]
-            names = list(dict.fromkeys(names))  # dedupe, keep order
+            if kind in _CONFIG_FIELD:
+                names = [names[0], getattr(UHCAF_2LEVEL, _CONFIG_FIELD[kind])]
+                names = list(dict.fromkeys(names))  # dedupe, keep order
+            else:
+                names = names[:1]  # image-control: single implementation
         for alg in names:
             if algs and alg not in algs:
                 continue
@@ -210,7 +301,9 @@ def build_fault_matrix(
 
 
 def _run_once(case: FaultCase, shape: Shape, schedule: FaultSchedule):
-    config = UHCAF_2LEVEL.with_(**{_CONFIG_FIELD[case.kind]: case.alg})
+    overrides = ({_CONFIG_FIELD[case.kind]: case.alg}
+                 if case.kind in _CONFIG_FIELD else {})
+    config = UHCAF_2LEVEL.with_(**overrides)
     rounds = MAX_ROUNDS if schedule.failures else STEADY_ROUNDS
     return run_spmd(
         _probe,

@@ -16,6 +16,12 @@ edges it tracks are exactly the synchronization the runtime provides:
   paper's barriers rely on.
 * **event waits** — a ``Wait(event)`` absorbs the clock of whatever
   triggered the event (RMA completions, resource grants).
+* **lock hand-off** — a blocked ``lock()`` resumes through a ``WaitFor``
+  on the lock word (covered above); a *first-try* CAS acquisition never
+  blocks, so the runtime reports it through :meth:`HBMonitor.on_acquire`
+  and the acquirer's clock absorbs the previous holder's release there.
+  ``event post``/``event wait`` need no extra hook: the post is a conduit
+  delivery writing the count cell, and the wait is a ``WaitFor`` on it.
 
 On top of the clocks the monitor performs one check: a **plain store**
 (:meth:`Cell.set <repro.sim.primitives.Cell.set>` — e.g.
@@ -128,6 +134,8 @@ class HBMonitor:
         self.races: List[RaceRecord] = []
         #: messages observed, by (src, dst) — cheap sanity statistics
         self.messages = 0
+        #: non-blocking lock acquisitions reported via :meth:`on_acquire`
+        self.acquires = 0
         self._clocks: Dict[Any, VectorClock] = {}
         self._cells: Dict[Any, _CellState] = {}
         self._events: Dict[Any, VectorClock] = {}
@@ -231,6 +239,13 @@ class HBMonitor:
         state = self._cells.get(cell)
         if state is not None:
             self.clock_of(actor).merge(state.clock)
+
+    def on_acquire(self, cell: Any, actor: Any) -> None:
+        """A lock acquisition that did not block (first-try CAS success):
+        the acquirer synchronizes with every past write to the lock word
+        — in particular the previous holder's release."""
+        self.acquires += 1
+        self.on_cell_observed(cell, actor)
 
     def on_event_trigger(self, event: Any) -> None:
         cause, _writer = self._current_cause()

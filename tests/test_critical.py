@@ -1,0 +1,145 @@
+"""The F2008/F2018 ``critical`` construct: team-wide mutual exclusion
+lowered onto a runtime lock homed at team index 1 (as in OpenUH), with
+F2018 ``stat=`` fault semantics."""
+
+import pytest
+
+from repro.faults import (
+    STAT_OK,
+    STAT_UNLOCKED_FAILED_IMAGE,
+    FaultSchedule,
+    ImageFailure,
+    Stat,
+)
+from repro.sim import ProcessFailure
+from tests.conftest import run_small
+
+pytestmark = pytest.mark.image_control
+
+FAIL_3_AT_20US = FaultSchedule(failures=(ImageFailure(3, 20e-6),))
+
+
+class TestMutualExclusion:
+    def test_critical_protects_read_modify_write(self):
+        def main(ctx):
+            counter = yield from ctx.allocate("c", (1,))
+            yield from ctx.sync_all()
+            yield from ctx.critical_begin("rmw")
+            value = yield from ctx.get(counter, 1)
+            yield from ctx.compute(seconds=1e-6)
+            yield from ctx.put(counter, 1, float(value[0]) + 1, index=0)
+            yield from ctx.critical_end("rmw")
+            yield from ctx.sync_all()
+            return float(ctx.local(counter)[0]) if ctx.this_image() == 1 else None
+
+        result = run_small(main, images=8, ipn=4)
+        assert result.results[0] == 8.0
+
+    def test_critical_windows_never_overlap(self):
+        def main(ctx):
+            yield from ctx.sync_all()
+            entered = yield from ctx.critical_begin()
+            enter = ctx.now
+            yield from ctx.compute(seconds=2e-6)
+            exit_ = ctx.now
+            yield from ctx.critical_end()
+            assert entered
+            return (enter, exit_)
+
+        result = run_small(main, images=6, ipn=3)
+        windows = sorted(result.results)
+        for (_, exit_a), (enter_b, _) in zip(windows, windows[1:]):
+            assert enter_b >= exit_a
+
+    def test_distinct_names_are_independent_constructs(self):
+        """Two named CRITICAL blocks never serialize against each other:
+        occupants of 'a' and 'b' overlap in time."""
+        def main(ctx):
+            me = ctx.this_image()
+            name = "a" if me <= 2 else "b"
+            yield from ctx.sync_all()
+            yield from ctx.critical_begin(name)
+            enter = ctx.now
+            yield from ctx.compute(seconds=5e-6)
+            yield from ctx.critical_end(name)
+            return (name, enter)
+
+        result = run_small(main, images=4, ipn=2)
+        by_name = {}
+        for name, enter in result.results:
+            by_name.setdefault(name, []).append(enter)
+        assert min(by_name["b"]) < max(by_name["a"]) + 5e-6
+
+    def test_reacquisition_across_rounds(self):
+        """Every image re-enters the same construct each round — no
+        image starves and no stale holder state survives the exit."""
+        def main(ctx):
+            entered = 0
+            for _ in range(3):
+                ok = yield from ctx.critical_begin("loop")
+                entered += bool(ok)
+                yield from ctx.compute(seconds=0.5e-6)
+                yield from ctx.critical_end("loop")
+            return entered
+
+        result = run_small(main, images=6, ipn=3)
+        assert result.results == [3] * 6
+
+
+class TestFaultSemantics:
+    def test_occupant_failstop_reports_stat_unlocked_failed_image(self):
+        """Image 3 fail-stops inside the construct; the next entrant gets
+        in with ``stat=STAT_UNLOCKED_FAILED_IMAGE`` naming the corpse."""
+        def main(ctx):
+            me = ctx.this_image()
+            yield from ctx.sync_all()
+            if me == 3:
+                yield from ctx.critical_begin("torn")
+                yield from ctx.compute(seconds=30e-6)  # killed at 20us
+                yield from ctx.critical_end("torn")
+                return None
+            if me == 2:
+                yield from ctx.compute(seconds=25e-6)
+                st = Stat()
+                entered = yield from ctx.critical_begin("torn", stat=st)
+                # the protected state may be torn, but the construct is
+                # ours now: force the matching end to restore invariants
+                yield from ctx.critical_end("torn")
+                return (entered, st.code, tuple(st.failed_indices))
+            # bystanders stay alive past image 2's entry checks
+            yield from ctx.compute(seconds=40e-6)
+            return None
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[1] == (True, STAT_UNLOCKED_FAILED_IMAGE, (3,))
+
+    def test_occupant_failstop_without_stat_is_error_termination(self):
+        def main(ctx):
+            me = ctx.this_image()
+            yield from ctx.sync_all()
+            if me == 3:
+                yield from ctx.critical_begin()
+                yield from ctx.compute(seconds=30e-6)
+                yield from ctx.critical_end()
+                return None
+            if me == 2:
+                yield from ctx.compute(seconds=25e-6)
+                yield from ctx.critical_begin()
+                yield from ctx.critical_end()
+                return None
+            yield from ctx.compute(seconds=40e-6)
+            return None
+
+        with pytest.raises(ProcessFailure,
+                           match="STAT_UNLOCKED_FAILED_IMAGE"):
+            run_small(main, images=4, faults=FAIL_3_AT_20US)
+
+    def test_clean_run_reports_stat_ok(self):
+        def main(ctx):
+            st = Stat()
+            entered = yield from ctx.critical_begin("ok", stat=st)
+            yield from ctx.critical_end("ok", stat=st)
+            return (entered, st.code)
+
+        result = run_small(main, images=4)
+        assert result.results == [(True, STAT_OK)] * 4

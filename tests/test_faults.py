@@ -15,13 +15,14 @@ from repro.faults import (
     FAILED,
     STAT_FAILED_IMAGE,
     STAT_OK,
+    STAT_STOPPED_IMAGE,
     FailedImageError,
     FaultSchedule,
     ImageFailure,
     Stat,
     parse_schedule,
 )
-from repro.sim import DeadlockError, ProcessFailure
+from repro.sim import Cell, DeadlockError, Engine, Process, ProcessFailure, WaitFor
 from repro.verify.deadlock import analyze_deadlock
 from tests.conftest import run_small
 
@@ -127,13 +128,17 @@ class TestFailStop:
 
     def test_image_status_and_failed_images(self):
         def main(ctx):
+            me = ctx.this_image()
             st = Stat()
             for _ in range(10):
                 yield from ctx.sync_all(stat=st)
                 if not st.ok:
                     break
                 yield from ctx.compute(seconds=5e-6)
-            return (ctx.image_status(3), ctx.image_status(1),
+            # query my OWN status (a surviving peer may already have
+            # terminated normally by now — that is STAT_STOPPED_IMAGE,
+            # not STAT_OK; see TestStoppedImages)
+            return (ctx.image_status(3), ctx.image_status(me),
                     ctx.failed_images())
 
         result = run_small(main, images=4, faults=FAIL_3_AT_20US)
@@ -270,30 +275,170 @@ class TestDeterminism:
 
 
 # ----------------------------------------------------------------------
+class TestEventFaults:
+    """Event primitives are fault-integrated: posts to dead images fail
+    fast, waits on team-scoped variables are failure-aware."""
+
+    def test_event_post_to_failed_image_reports_stat(self):
+        """Regression: posting to a fail-stopped owner used to bump a
+        counter nobody would ever consume (silent lost signal); it must
+        report STAT_FAILED_IMAGE instead."""
+        def main(ctx):
+            me = ctx.this_image()
+            ev = yield from ctx.event_var("sig")
+            st = Stat()
+            for _ in range(20):
+                yield from ctx.compute(seconds=5e-6)
+                if me == 1:
+                    yield from ctx.event_post(ev, 3, stat=st)
+                    if not st.ok:
+                        return ("stat", st.code, tuple(st.failed_indices))
+            return "never saw the failure"
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[0] == ("stat", STAT_FAILED_IMAGE, (3,))
+        assert result.results[2] == FAILED
+
+    def test_event_post_to_failed_image_raises_without_stat(self):
+        def main(ctx):
+            me = ctx.this_image()
+            ev = yield from ctx.event_var("sig2")
+            for _ in range(20):
+                yield from ctx.compute(seconds=5e-6)
+                if me == 1:
+                    yield from ctx.event_post(ev, 3)
+            return "never saw the failure"
+
+        with pytest.raises(ProcessFailure) as exc:
+            run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert isinstance(exc.value.original, FailedImageError)
+
+    def test_event_wait_observes_teammate_failure(self):
+        """A wait starved by a teammate's fail-stop wakes with
+        STAT_FAILED_IMAGE instead of hanging forever."""
+        def main(ctx):
+            me = ctx.this_image()
+            ev = yield from ctx.event_var("never")
+            if me == 1:
+                st = Stat()
+                yield from ctx.event_wait(ev, stat=st)
+                return ("stat", st.code, tuple(st.failed_indices))
+            # stay alive past the kill instant (a completed image
+            # cannot fail)
+            for _ in range(10):
+                yield from ctx.compute(seconds=5e-6)
+            return "done"
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[0] == ("stat", STAT_FAILED_IMAGE, (3,))
+
+
+# ----------------------------------------------------------------------
 class TestDeadlockAttribution:
     def test_residual_hang_attributed_to_injected_failure(self):
-        """A wait that is *not* failure-aware (a bare coarray spin via
-        sync primitives would be; use a pairwise sync without faults
-        plumbed... simplest: an image waiting on a peer's flag outside
-        any collective) hangs when the peer dies — the analyzer must say
-        the hang is fault fallout, not an algorithm bug."""
-        def main(ctx):
-            ev = yield from ctx.event_var("never")
-            me = ctx.this_image()
-            if me == 1:
-                # Event waits are deliberately not failure-aware (they
-                # model user-level signalling, not team sync): parking
-                # on an event the dead image would have posted hangs.
-                yield from ctx.event_wait(ev)
-            elif me == 3:
-                for _ in range(100):
-                    yield from ctx.compute(seconds=5e-6)
-                yield from ctx.event_post(ev, 1)
-            return "ok"
+        """A wait that is *not* failure-aware hangs when its notifier
+        dies — the analyzer must say the hang is fault fallout, not an
+        algorithm bug.  The runtime's own primitives are all
+        failure-aware now, so build the residual hang directly on the
+        sim kernel: a waiter parked on a pairwise-sync flag whose
+        notifier (image 3) never writes it."""
+        engine = Engine()
+        flag = Cell(engine, 0, name="syncimg[2->0]",
+                    meta={"kind": "syncimg", "notifier": 2, "waiter": 0})
 
+        def waiter():
+            yield WaitFor(flag, lambda v: v > 0)
+
+        Process(engine, waiter(), name="image1", actor=0)
         with pytest.raises(DeadlockError) as exc:
-            run_small(main, images=4, faults=FAIL_3_AT_20US)
+            engine.run()
         analysis = analyze_deadlock(exc.value, failed=[3])
         assert analysis.failed == [3]
+        assert analysis.fault_attributed == [1]
         rendered = analysis.render()
         assert "injected fail-stops: image3" in rendered
+
+
+# ----------------------------------------------------------------------
+class TestStoppedImages:
+    """Normal termination is a third image state (F2018 "stopped"),
+    distinct from fail-stop: reported by ``stopped_images()`` and
+    ``STAT_STOPPED_IMAGE``, never by ``failed_images()``."""
+
+    def test_stopped_image_reported_by_stopped_not_failed(self):
+        def main(ctx):
+            me = ctx.this_image()
+            if me == 1:
+                yield from ctx.sync_images([2])
+                return "early"  # normal termination, no failure anywhere
+            yield from ctx.sync_images([1])
+            yield from ctx.compute(seconds=20e-6)
+            st = Stat()
+            yield from ctx.sync_all(stat=st)
+            return (st.code, tuple(st.failed_indices),
+                    ctx.stopped_images(), ctx.failed_images(),
+                    ctx.image_status(1), ctx.image_status(me))
+
+        result = run_small(main, images=2)
+        assert result.results[0] == "early"
+        assert result.results[1] == (STAT_STOPPED_IMAGE, (1,), [1], [],
+                                     STAT_STOPPED_IMAGE, STAT_OK)
+
+    def test_sync_images_with_stopped_peer(self):
+        def main(ctx):
+            me = ctx.this_image()
+            if me == 1:
+                yield from ctx.sync_images([2])
+                return "early"
+            if me == 2:
+                yield from ctx.sync_images([1])
+                yield from ctx.compute(seconds=20e-6)
+                st = Stat()
+                yield from ctx.sync_images([1], stat=st)
+                return (st.code, tuple(st.failed_indices))
+            return "bystander"
+
+        result = run_small(main, images=4)
+        assert result.results[1] == (STAT_STOPPED_IMAGE, (1,))
+
+    def test_failed_check_precedes_stopped_check(self):
+        """With both a stopped image and a failed image in the team, the
+        failure wins — stat reports STAT_FAILED_IMAGE, and each intrinsic
+        reports its own set."""
+        def main(ctx):
+            me = ctx.this_image()
+            if me == 1:
+                # outlive the 20µs kill, then terminate normally
+                yield from ctx.compute(seconds=25e-6)
+                return "early"
+            # arrive at the check with image 3 failed AND image 1 stopped
+            yield from ctx.compute(seconds=30e-6)
+            st = Stat()
+            yield from ctx.sync_all(stat=st)
+            return (st.code, tuple(st.failed_indices),
+                    ctx.stopped_images(), ctx.failed_images())
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[0] == "early"
+        assert result.results[2] == FAILED
+        for out in (result.results[1], result.results[3]):
+            code, indices, stopped, failed = out
+            assert (code, indices, failed) == (STAT_FAILED_IMAGE, (3,), [3])
+            # image 1 stopped; the failed image is never "stopped" (a
+            # fellow checker that already returned may be, though)
+            assert 1 in stopped and 3 not in stopped
+
+    def test_no_stat_sync_still_hangs_on_stopped_image(self):
+        """Without stat= the standard gives no detection point: a barrier
+        including a normally-terminated image is an error (here: a
+        deadlock with wait-for attribution), exactly as before stopped
+        tracking existed."""
+        def main(ctx):
+            me = ctx.this_image()
+            if me == 1:
+                return "early"
+            yield from ctx.sync_all()
+            return "unreachable"
+
+        with pytest.raises(DeadlockError):
+            run_small(main, images=4)

@@ -32,7 +32,7 @@ class TestMatrixBuilder:
         cases = build_fault_matrix()
         kinds = {c.kind for c in cases}
         assert kinds == {"barrier", "reduce", "broadcast", "allgather",
-                         "alltoall"}
+                         "alltoall", "event", "lock", "critical"}
         assert {c.schedule for c in cases} == set(SCHEDULE_NAMES)
         # every registered algorithm appears under every schedule
         per_sched = {s: {(c.kind, c.alg) for c in cases if c.schedule == s}
@@ -54,6 +54,9 @@ class TestMatrixBuilder:
     ("broadcast", "two-level"),
     ("allgather", "two-level"),
     ("alltoall", "two-level"),
+    ("event", "leader-mediated"),
+    ("lock", "cas-wait"),
+    ("critical", "lock-based"),
 ])
 def test_paper_algorithms_survive_faults_on_2x4(kind, alg, schedule):
     cases = build_fault_matrix(kinds=[kind], algs=[alg], shapes=["2x4"],

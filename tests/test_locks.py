@@ -1,10 +1,28 @@
 """Tests for F2008 lock variables: mutual exclusion, error conditions,
-fairness under contention."""
+fairness under contention, and the F2018 ``stat=`` conditions
+(``STAT_LOCKED``, ``STAT_UNLOCKED_FAILED_IMAGE``)."""
+
+import re
+import textwrap
 
 import pytest
 
+from repro.faults import (
+    STAT_LOCKED,
+    STAT_OK,
+    STAT_UNLOCKED_FAILED_IMAGE,
+    FaultSchedule,
+    ImageFailure,
+    Stat,
+)
 from repro.sim import ProcessFailure
+from repro.sim.errors import DeadlockError
+from repro.verify import explain_deadlock
 from tests.conftest import run_small
+
+pytestmark = pytest.mark.image_control
+
+FAIL_3_AT_20US = FaultSchedule(failures=(ImageFailure(3, 20e-6),))
 
 
 class TestMutualExclusion:
@@ -122,3 +140,119 @@ class TestErrorConditions:
         result = run_small(main, images=2)
         assert result.results[1] == 1   # proc 1 == image 2 held it
         assert result.results[0] == -1  # free afterwards
+
+
+class TestStatConditions:
+    def test_nonblocking_contended_acquire_reports_stat_locked(self):
+        """The ``ACQUIRED_LOCK=`` form: a contended acquire returns
+        False immediately — ``stat`` gets ``STAT_LOCKED`` when supplied,
+        and stays silent otherwise."""
+        def main(ctx):
+            me = ctx.this_image()
+            lock = yield from ctx.lock_var("L")
+            if me == 1:
+                yield from ctx.lock(lock, 1)
+                yield from ctx.sync_images([2])   # held: let 2 probe
+                yield from ctx.sync_images([2])   # 2 done probing
+                yield from ctx.unlock(lock, 1)
+                return None
+            yield from ctx.sync_images([1])
+            st = Stat()
+            with_stat = yield from ctx.lock(lock, 1, blocking=False, stat=st)
+            silent = yield from ctx.lock(lock, 1, blocking=False)
+            yield from ctx.sync_images([1])
+            # after the holder releases, the blocking form goes through
+            acquired = yield from ctx.lock(lock, 1)
+            yield from ctx.unlock(lock, 1)
+            return (with_stat, st.code, silent, acquired)
+
+        result = run_small(main, images=2)
+        assert result.results[1] == (False, STAT_LOCKED, False, True)
+
+    def test_nonblocking_uncontended_acquire_succeeds_with_stat_ok(self):
+        def main(ctx):
+            lock = yield from ctx.lock_var("L")
+            st = Stat()
+            acquired = yield from ctx.lock(lock, 1, blocking=False, stat=st)
+            yield from ctx.unlock(lock, 1)
+            return (acquired, st.code)
+
+        result = run_small(main, images=1, ipn=1)
+        assert result.results == [(True, STAT_OK)]
+
+    def test_holder_failstop_reports_stat_unlocked_failed_image(self):
+        """The holder fail-stops mid-section: the next acquire succeeds
+        but carries ``STAT_UNLOCKED_FAILED_IMAGE`` and names the dead
+        holder, since the protected state may be torn."""
+        def main(ctx):
+            me = ctx.this_image()
+            lock = yield from ctx.lock_var("L")
+            if me == 3:
+                yield from ctx.lock(lock, 2)
+                yield from ctx.compute(seconds=30e-6)  # killed at 20us
+                yield from ctx.unlock(lock, 2)
+                return None
+            if me == 2:
+                yield from ctx.compute(seconds=25e-6)
+                st = Stat()
+                acquired = yield from ctx.lock(lock, 2, stat=st)
+                yield from ctx.unlock(lock, 2)
+                return (acquired, st.code, tuple(st.failed_indices))
+            yield from ctx.compute(seconds=40e-6)
+            return None
+
+        result = run_small(main, images=4, faults=FAIL_3_AT_20US)
+        assert result.results[1] == (
+            True, STAT_UNLOCKED_FAILED_IMAGE, (3,))
+
+    def test_holder_failstop_without_stat_is_error_termination(self):
+        def main(ctx):
+            me = ctx.this_image()
+            lock = yield from ctx.lock_var("L")
+            if me == 3:
+                yield from ctx.lock(lock, 2)
+                yield from ctx.compute(seconds=30e-6)
+                yield from ctx.unlock(lock, 2)
+                return None
+            if me == 2:
+                yield from ctx.compute(seconds=25e-6)
+                yield from ctx.lock(lock, 2)
+                yield from ctx.unlock(lock, 2)
+                return None
+            yield from ctx.compute(seconds=40e-6)
+            return None
+
+        with pytest.raises(ProcessFailure,
+                           match="STAT_UNLOCKED_FAILED_IMAGE"):
+            run_small(main, images=4, faults=FAIL_3_AT_20US)
+
+
+class TestDeadlockReport:
+    def test_two_lock_cycle_pinned_report(self):
+        """Classic lock-order inversion: image1 takes A then wants B,
+        image2 takes B then wants A.  The wait-for analysis must name
+        the locks, their holders, and the 2-cycle."""
+        def main(ctx):
+            me = ctx.this_image()
+            lock_a = yield from ctx.lock_var("A")
+            lock_b = yield from ctx.lock_var("B")
+            if me == 1:
+                yield from ctx.lock(lock_a, 1)
+                yield from ctx.sync_all()
+                yield from ctx.lock(lock_b, 2)
+            else:
+                yield from ctx.lock(lock_b, 2)
+                yield from ctx.sync_all()
+                yield from ctx.lock(lock_a, 1)
+            return None
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_small(main, images=2)
+        text = re.sub(r"\bt\d+\.", "tN.", explain_deadlock(excinfo.value))
+        expected = textwrap.dedent("""\
+            deadlock wait-for analysis: 2 image(s) blocked, 0 image(s) exited without notifying a waiter
+            blocked:
+              image1 waits on cell 'tN.B.lock[1]' [lock 'B', home image2] value=2; expected notifiers: image2
+              image2 waits on cell 'tN.A.lock[0]' [lock 'A', home image1] value=1; expected notifiers: image1
+            potential wait-for cycle: image1 -> image2 -> image1""")
+        assert text == expected
