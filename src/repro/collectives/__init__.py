@@ -21,6 +21,7 @@ from .alltoall import (
     alltoall_two_level,
 )
 from .base import NOTIFY_NBYTES, binomial_peers, dissemination_rounds, payload_nbytes
+from .macro import MacroBarriers
 from .gather import (
     allgather_bruck_flat,
     allgather_linear_flat,
@@ -76,6 +77,7 @@ __all__ = [
     "BROADCASTS",
     "resolve",
     "NOTIFY_NBYTES",
+    "MacroBarriers",
     "binomial_peers",
     "dissemination_rounds",
     "payload_nbytes",

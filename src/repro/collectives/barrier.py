@@ -93,6 +93,15 @@ def barrier_linear(ctx, view: TeamView, path: str = "auto") -> Iterator:
     n = view.size
     if n == 1:
         return
+    macro = getattr(ctx, "macro", None)
+    if macro is not None and macro.engages(view):
+        # Offer the window to the macro-event coordinator; on replay the
+        # barrier is already complete (exit times, flag state, traffic
+        # all mirrored) and this image just returns.  Otherwise fall
+        # through to the fine-grained protocol with the seq drawn above.
+        replayed = yield from macro.join(ctx, view, "linear", seq, path=path)
+        if replayed:
+            return
     leader = 1
     me = view.index
     if me != leader:
@@ -154,6 +163,12 @@ def barrier_tdlb(ctx, view: TeamView) -> Iterator:
     the leader dissemination — the paper's claim (1) in §V-A.
     """
     seq = view.next_seq("tdlb")
+    macro = getattr(ctx, "macro", None)
+    if macro is not None and macro.engages(view):
+        # See barrier_linear: replayed windows are complete on return.
+        replayed = yield from macro.join(ctx, view, "tdlb", seq)
+        if replayed:
+            return
     shared = view.shared
     h = shared.hierarchy
     me = view.index

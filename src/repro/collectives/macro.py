@@ -1,0 +1,504 @@
+"""Macro-events: collapsing deterministic barrier windows analytically.
+
+A barrier over *n* images costs the engine O(n) fine-grained events —
+per-slave bus holds, per-leader NIC injections, wire deliveries, release
+ladders.  But when nothing can *observe or perturb* the window, those
+events are pure bookkeeping: the protocol is closed-form, so every
+image's exit time can be computed arithmetically and the whole window
+replaced by a handful of wake events — one per distinct exit instant.
+On node-symmetric teams the exit instants of different nodes coincide
+exactly (identical float arithmetic), so a 1024-image TDLB barrier
+collapses from thousands of engine events to roughly a dozen.
+
+The hard requirement is **exactness**, not approximation: a macro-on run
+must produce bit-identical simulated times, coarray states, traffic
+counters, and resource grant counts as a macro-off run.  That drives the
+engagement rules:
+
+Static eligibility (checked per arrival via :meth:`MacroBarriers.engages`)
+  No monitor, no engine trace, no tiebreak RNG, no fault manager, no
+  world-level trace log, ``config.macro_events`` on, and the barrier
+  spans the *full* image set (a sub-team barrier can interleave with
+  images outside the team).
+
+Dynamic window check (pinned at the FIRST arrival of each invocation)
+  The engine must be *globally quiet*: every pending event is one of the
+  coordinator's own not-yet-fired wake events, and every machine
+  resource (conduit progress engines, NICs, memory buses) is idle.  Any
+  foreign in-flight work — an unfinished put, a straggler's timeout —
+  pins this invocation to the fine-grained path.  The check is re-run at
+  commit (last arrival), together with a resource *grant-counter*
+  snapshot: if anything acquired a resource while the gather was open,
+  the window is demoted.
+
+Sticky asynchronous disable
+  Non-blocking transfers (``put_nb``/``get_nb``, event-post relays)
+  complete through callback chains that the quiet-window sweep cannot
+  attribute; the first one observed permanently disables macro-events
+  for the rest of the run (:meth:`MacroBarriers.note_async`).
+
+When an invocation is pinned fine or demoted, every participant runs the
+ordinary fine-grained barrier generator with the invocation sequence
+number it already drew — team counters advance identically either way.
+A demotion triggered while registrants were already parked wakes them in
+arrival order; because demotion also *disables* macro-events for the run
+(the quiet-window invariant was violated, so exact replay can no longer
+be promised), at most one window per run can be perturbed, and only in
+programs that race asynchronous traffic against a barrier.
+
+The replay itself mirrors the fine-grained cost model operation by
+operation — same ``_plan``/``inject_time``/``wire_time`` calls, same
+max/add structure, per-resource FIFO orderings — so the floats produced
+are the very floats the event path would have produced (floating-point
+addition is deterministic; the replay never re-associates it).  See
+``docs/simulation.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..calibration import DIRECT_SMP
+from ..sim import SimEvent, Wait
+from .base import NOTIFY_NBYTES
+
+__all__ = ["MacroBarriers"]
+
+#: barrier kinds :meth:`MacroBarriers.join` knows how to replay
+REPLAYABLE = ("tdlb", "linear")
+
+
+class _Gather:
+    """One open barrier invocation: who has arrived, and in which mode."""
+
+    __slots__ = ("mode", "arrivals", "events", "passed")
+
+    def __init__(self, mode: str):
+        self.mode = mode  # "macro" | "fine"
+        #: (arrival time, team index) in registration order (macro mode)
+        self.arrivals: List[Tuple[float, int]] = []
+        #: each registrant's private wake event, same order as arrivals
+        self.events: List[SimEvent] = []
+        #: members seen so far (fine mode — pure pass-through bookkeeping)
+        self.passed = 0
+
+
+class _ReplayState:
+    """Per-commit FIFO ledger of virtual resource holds.
+
+    ``hold`` mirrors :meth:`repro.sim.Resource.occupy` arithmetic for a
+    request arriving at ``t``: granted at ``max(t, previous release)``,
+    released ``duration`` later.  Requests must be fed in fine-grained
+    arrival order per resource; the engagement guard guarantees every
+    resource starts the window idle, so the ledger starts empty.
+    """
+
+    __slots__ = ("free",)
+
+    def __init__(self):
+        self.free: Dict[object, float] = {}
+
+    def hold(self, resource, t: float, duration: float) -> float:
+        granted = self.free.get(resource, t)
+        if t > granted:
+            granted = t
+        end = granted + duration
+        self.free[resource] = end
+        resource._granted += 1  # mirror the grant statistics
+        return end
+
+
+class MacroBarriers:
+    """Per-World coordinator that gathers barrier arrivals and, when the
+    window is provably unobservable, replays it analytically."""
+
+    def __init__(self, world):
+        self.world = world
+        self._gathers: Dict[tuple, _Gather] = {}
+        #: wake events scheduled but not yet fired — the only pending
+        #: engine events a quiet window is allowed to contain
+        self._pending_wakes = 0
+        #: grant-counter snapshot taken when the open gather was pinned
+        self._grant_mark = 0
+        #: None while live; "async" / "contention" once permanently off
+        self.disabled_reason: Optional[str] = None
+        #: windows replayed analytically
+        self.replays = 0
+        #: invocations pinned to fine-grained at first arrival
+        self.fine_pins = 0
+        #: gathers demoted after registration began
+        self.demotions = 0
+        #: engine events spent on wakes (vs. fine-grained thousands)
+        self.wake_events = 0
+        #: True once a committed window was overlapped by foreign
+        #: resource traffic (or a demotion interrupted parked
+        #: registrants): macro-on times may have drifted from macro-off
+        #: from that window onward.  Committing is a bet that nothing
+        #: touches the fabric until the window's last delivery; this
+        #: flag records a lost bet, and losing one also sets
+        #: :attr:`disabled_reason` so it can happen at most once per run.
+        self.inexact = False
+        #: the committed window still delivering wakes, as
+        #: ``[remaining_wake_events, grant_mark_at_commit]`` — None when
+        #: everything committed has fully delivered
+        self._active_window: Optional[list] = None
+        self._resources: Optional[list] = None
+        self._hook_installed = False
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    def engages(self, view) -> bool:
+        """Static screen, checked by each barrier wrapper before joining."""
+        if self.disabled_reason is not None:
+            return False
+        world = self.world
+        if not world.config.macro_events:
+            return False
+        engine = world.engine
+        if (
+            engine.monitor is not None
+            or engine._trace is not None
+            or engine._tiebreak_rng is not None
+        ):
+            return False
+        if world.faults is not None or world.trace is not None:
+            return False
+        if view.size <= 1 or view.size != world.num_images:
+            return False
+        return True
+
+    def _all_resources(self) -> list:
+        res = self._resources
+        if res is None:
+            world = self.world
+            res = list(world.conduit._engines)
+            res.extend(world.machine.interconnect._nics)
+            for node_buses in world.machine.shared_memory._buses:
+                res.extend(node_buses)
+            self._resources = res
+        return res
+
+    def _total_grants(self) -> int:
+        return sum(r._granted for r in self._all_resources())
+
+    def _window_clear(self) -> bool:
+        """The dynamic quiet-window test, taken at first arrival.
+
+        The engine must be *fully* quiet: no pending events at all (not
+        even this coordinator's own wakes — a previous window still
+        delivering means exits are staggered, and an image registering
+        here could in fine-grained execution have contended with that
+        window's release ladder) and every fabric resource idle.
+        """
+        if self._pending_wakes != 0:
+            return False
+        if self.world.engine.pending_events != 0:
+            return False
+        return all(r.idle for r in self._all_resources())
+
+    def _commit_clear(self) -> bool:
+        """Re-check at last arrival: still quiet, and nothing acquired a
+        resource while the gather was open."""
+        if self._pending_wakes != 0:
+            return False
+        if self.world.engine.pending_events != 0:
+            return False
+        return self._total_grants() == self._grant_mark
+
+    # ------------------------------------------------------------------
+    # Sticky disables and demotion
+    # ------------------------------------------------------------------
+    def note_async(self) -> None:
+        """Asynchronous traffic exists: disable for the run, demote any
+        open gather (called by the conduit on every ``transfer_nb``)."""
+        if self.disabled_reason is None:
+            self.disabled_reason = "async"
+        self._demote_open()
+
+    def on_drain(self) -> bool:
+        """Engine drain hook: if the queue ran dry with a gather still
+        open, some member never arrived — demote so the registrants run
+        the fine-grained path and produce its diagnostics (deadlock
+        reports name real cells, not macro internals)."""
+        return self._demote_open()
+
+    def _demote_open(self) -> bool:
+        progressed = False
+        for key in list(self._gathers):
+            g = self._gathers.get(key)
+            if g is None or g.mode != "macro":
+                continue
+            del self._gathers[key]
+            self.demotions += 1
+            if g.events:
+                # Parked registrants resume *now*, later than their
+                # fine-grained arrival instants — times have drifted.
+                progressed = True
+                self.inexact = True
+            for ev in g.events:  # arrival order
+                ev.trigger(False)
+        return progressed
+
+    def _ensure_hook(self) -> None:
+        if not self._hook_installed:
+            self._hook_installed = True
+            self.world.engine.add_drain_hook(self.on_drain)
+
+    # ------------------------------------------------------------------
+    # The gather protocol
+    # ------------------------------------------------------------------
+    def join(self, ctx, view, kind: str, seq: int,
+             path: str = "auto") -> Iterator:
+        """Offer this barrier invocation to the macro coordinator.
+
+        Generator driven by the arriving image's process.  Returns True
+        (via ``yield from``) when the window was replayed — the barrier
+        is complete and the caller must return.  Returns False when the
+        invocation runs fine-grained (pinned, demoted, or ineligible);
+        the caller falls through to the ordinary algorithm with the same
+        ``seq`` it already drew.
+        """
+        if kind not in REPLAYABLE:
+            return False
+        key = (view.shared.uid, kind, seq)
+        g = self._gathers.get(key)
+        if g is None:
+            if self._window_clear():
+                g = _Gather("macro")
+                self._ensure_hook()
+                self._grant_mark = self._total_grants()
+            else:
+                g = _Gather("fine")
+                self.fine_pins += 1
+            self._gathers[key] = g
+        if g.mode != "macro":
+            g.passed += 1
+            if g.passed >= view.size:
+                self._gathers.pop(key, None)
+            return False
+
+        engine = self.world.engine
+        ev = SimEvent(engine, name=f"macro:{kind}[{seq}]@{view.index}")
+        g.arrivals.append((engine.now, view.index))
+        g.events.append(ev)
+        if len(g.events) == view.size:
+            self._gathers.pop(key, None)
+            if self._commit_clear():
+                self._commit(view, kind, seq, path, g)
+                # fall through: the last arriver waits on its own wake
+            else:
+                # The window was perturbed after registration — too late
+                # for exact fine-grained timing, so never engage again.
+                self.disabled_reason = "contention"
+                self.inexact = True
+                self.demotions += 1
+                for other in g.events[:-1]:  # arrival order
+                    other.trigger(False)
+                return False
+        replayed = yield Wait(ev)
+        return bool(replayed)
+
+    # ------------------------------------------------------------------
+    # Commit: replay + wake scheduling + state mirroring
+    # ------------------------------------------------------------------
+    def _commit(self, view, kind: str, seq: int, path: str,
+                g: _Gather) -> None:
+        if kind == "tdlb":
+            exits = self._replay_tdlb(view, seq, g.arrivals)
+        else:
+            exits = self._replay_linear(view, seq, g.arrivals, path)
+        self.replays += 1
+
+        waiter = {index: ev for (_, index), ev in zip(g.arrivals, g.events)}
+        groups: Dict[float, List[int]] = {}
+        for t, index in exits:
+            groups.setdefault(t, []).append(index)
+        engine = self.world.engine
+        # The commit is a bet that no foreign resource request lands
+        # inside the window's (now virtual) delivery span.  Track the
+        # window until its last wake and audit the grant counters there:
+        # a lost bet is marked inexact and disables macro-events for the
+        # rest of the run (see the module doc's exactness contract).
+        window = [len(groups), self._total_grants()]
+        self._active_window = window
+        for t in sorted(groups):
+            events = [waiter[i] for i in sorted(groups[t])]
+            self._pending_wakes += 1
+
+            def fire(events=events, window=window):
+                self._pending_wakes -= 1
+                window[0] -= 1
+                if window[0] == 0:
+                    self._active_window = None
+                    if (
+                        self.disabled_reason is None
+                        and self._total_grants() != window[1]
+                    ):
+                        self.inexact = True
+                        self.disabled_reason = "overlap"
+                for ev in events:
+                    ev.trigger(True)
+
+            engine.schedule_at(t, fire, label="macro-wake")
+        self.wake_events += len(groups)
+
+    # -- one costed transfer, mirroring Conduit.transfer exactly --------
+    def _replay_transfer(self, st: _ReplayState, src_proc: int,
+                         dst_proc: int, nbytes: int, t: float,
+                         path: str) -> Tuple[float, float]:
+        """Return ``(source_done, delivered)`` for one notification whose
+        sender is free to issue it at time ``t``."""
+        world = self.world
+        conduit = world.conduit
+        machine = world.machine
+        resolved = conduit.resolve_path(src_proc, dst_proc, path)
+        conduit.counts[resolved] += 1
+        placements = conduit._placements
+        ps = placements[src_proc]
+        profile = conduit.profile
+
+        if resolved == "remote":
+            cost = profile.remote_overhead
+            if cost > 0.0:
+                if profile.serialize_overhead:
+                    t = st.hold(conduit._engines[ps.node], t, cost)
+                else:
+                    t = t + cost
+            ic = machine.interconnect
+            ic.messages += 1
+            ic.bytes += nbytes
+            net = machine.spec.network
+            t = st.hold(ic._nics[ps.node], t, net.inject_time(nbytes))
+            return t, t + net.wire_time(nbytes)
+
+        pd = placements[dst_proc]
+        sm = machine.shared_memory
+        if resolved == "loopback":
+            cost = profile.local_overhead
+            if cost > 0.0:
+                if profile.serialize_overhead:
+                    t = st.hold(conduit._engines[ps.node], t, cost)
+                else:
+                    t = t + cost
+            sm.messages += 1
+            sm.bytes += nbytes
+            occ, lat, home = sm._plan(
+                ps.core, pd.core, nbytes, profile.loopback_bw_factor
+            )
+            t = st.hold(sm._buses[ps.node][home], t, occ)
+            delivered = t + lat
+            if profile.loopback_penalty > 0.0:
+                delivered = delivered + profile.loopback_penalty
+            return t, delivered
+
+        # direct shared-memory store
+        if DIRECT_SMP.local_overhead > 0.0:
+            t = t + DIRECT_SMP.local_overhead
+        sm.messages += 1
+        sm.bytes += nbytes
+        occ, lat, home = sm._plan(ps.core, pd.core, nbytes, 1.0)
+        t = st.hold(sm._buses[ps.node][home], t, occ)
+        return t, t + lat
+
+    # -- Algorithm 1 (barrier_tdlb) -------------------------------------
+    def _replay_tdlb(self, view, seq: int,
+                     arrivals: List[Tuple[float, int]]) -> List[Tuple[float, int]]:
+        shared = view.shared
+        h = shared.hierarchy
+        proc_of = shared.proc_of
+        arrive = {index: t for t, index in arrivals}
+        order = {index: i for i, (_, index) in enumerate(arrivals)}
+        st = _ReplayState()
+        exits: List[Tuple[float, int]] = []
+
+        # Step 1: slaves arrive at their node leader (direct stores).
+        # Same-node requests contend on the leader-socket bus in the
+        # order the engine would grant them: FIFO by (issue time,
+        # registration order) — ties broken by who got to the bus first,
+        # which on the fast path is registration (scheduling) order.
+        ready: Dict[int, float] = {}
+        for leader in h.leaders:
+            slaves = h.slaves_of(leader)
+            latest = arrive[leader]
+            for s in sorted(slaves, key=lambda i: (arrive[i], order[i])):
+                _, delivered = self._replay_transfer(
+                    st, proc_of(s), proc_of(leader), NOTIFY_NBYTES,
+                    arrive[s], "direct",
+                )
+                if delivered > latest:
+                    latest = delivered
+            if slaves:
+                shared.cocounter(leader).add(len(slaves))
+            ready[leader] = latest
+
+        # Step 2: one-wait dissemination among the node leaders.
+        leaders = h.leaders
+        k = len(leaders)
+        if k > 1:
+            rounds = math.ceil(math.log2(k))
+            for r in range(rounds):
+                deliver: Dict[int, float] = {}
+                send_done: Dict[int, float] = {}
+                for rank, leader in enumerate(leaders):
+                    target = leaders[(rank + (1 << r)) % k]
+                    done, delivered = self._replay_transfer(
+                        st, proc_of(leader), proc_of(target),
+                        NOTIFY_NBYTES, ready[leader], "auto",
+                    )
+                    send_done[leader] = done
+                    deliver[target] = delivered
+                    shared.diss_flag(target, r, "tdlb-leaders").add(1)
+                for leader in leaders:
+                    t = send_done[leader]
+                    if deliver[leader] > t:
+                        t = deliver[leader]
+                    ready[leader] = t
+
+        # Step 3: each leader releases its intranode set serially.
+        for leader in leaders:
+            t = ready[leader]
+            for s in h.slaves_of(leader):  # algorithm order: sorted
+                t, delivered = self._replay_transfer(
+                    st, proc_of(leader), proc_of(s), NOTIFY_NBYTES,
+                    t, "direct",
+                )
+                shared.release_flag(s).add(1)
+                exits.append((delivered, s))
+            exits.append((t, leader))
+        return exits
+
+    # -- barrier_linear -------------------------------------------------
+    def _replay_linear(self, view, seq: int,
+                       arrivals: List[Tuple[float, int]],
+                       path: str) -> List[Tuple[float, int]]:
+        shared = view.shared
+        proc_of = shared.proc_of
+        n = view.size
+        leader = 1
+        arrive = {index: t for t, index in arrivals}
+        order = {index: i for i, (_, index) in enumerate(arrivals)}
+        st = _ReplayState()
+
+        latest = arrive[leader]
+        slaves = [i for i in range(1, n + 1) if i != leader]
+        for s in sorted(slaves, key=lambda i: (arrive[i], order[i])):
+            _, delivered = self._replay_transfer(
+                st, proc_of(s), proc_of(leader), NOTIFY_NBYTES,
+                arrive[s], path,
+            )
+            if delivered > latest:
+                latest = delivered
+        shared.cocounter(leader).add(n - 1)
+
+        exits: List[Tuple[float, int]] = []
+        t = latest
+        for s in range(2, n + 1):  # algorithm order: ascending index
+            t, delivered = self._replay_transfer(
+                st, proc_of(leader), proc_of(s), NOTIFY_NBYTES, t, path,
+            )
+            shared.release_flag(s).add(1)
+            exits.append((delivered, s))
+        exits.append((t, leader))
+        return exits

@@ -7,17 +7,20 @@ it — so this package makes that speed observable:
 * :func:`~repro.perf.stats.run_with_stats` — drive any engine through
   the instrumented path and get events/sec, wall time, peak heap depth
   and an event-label histogram back.
-* :mod:`repro.perf.bench` — microbenchmarks (engine dispatch, trampoline,
-  sync-cell kernel, end-to-end TDLB barrier) that run the same workload
-  against the live kernel and the frozen pre-change kernel
-  (:mod:`repro.perf._legacy`) for a noise-free in-process speedup.
+* :mod:`repro.perf.bench` — microbenchmarks (engine dispatch, same-time
+  burst, trampoline, sync-cell kernel, end-to-end TDLB barrier, and the
+  macro-event barrier A/B) that run the same workload against the live
+  kernel and the frozen pre-change kernel (:mod:`repro.perf._legacy`)
+  for a noise-free in-process speedup.
 * ``python -m repro.perf`` — the CLI; writes ``BENCH_SIM_KERNEL.json``
   (the perf trajectory consumed by CI's perf-smoke job).
 """
 
 from .bench import (
     BenchResult,
+    bench_burst,
     bench_engine_dispatch,
+    bench_macro_barrier,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -26,6 +29,6 @@ from .stats import EngineStats, run_with_stats
 
 __all__ = [
     "BenchResult", "EngineStats", "run_with_stats",
-    "bench_engine_dispatch", "bench_sync_kernel", "bench_tdlb_barrier",
-    "bench_trampoline",
+    "bench_burst", "bench_engine_dispatch", "bench_macro_barrier",
+    "bench_sync_kernel", "bench_tdlb_barrier", "bench_trampoline",
 ]

@@ -31,7 +31,9 @@ from datetime import datetime, timezone
 from ..machine import build_machine, paper_cluster
 from ..sim.engine import Engine
 from .bench import (
+    bench_burst,
     bench_engine_dispatch,
+    bench_macro_barrier,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -39,25 +41,32 @@ from .bench import (
 from .stats import run_with_stats
 
 #: Workload sizes per mode.  The engine microbenchmark (``engine_dispatch``)
-#: is the headline number the CI gate tracks.
+#: is the headline number the CI gate tracks; its shape (128 concurrent
+#: processes) is where the batched heap drain amortizes — the wide-heap
+#: regime every ≥ 1k-image experiment lives in.
 SIZES = {
     "full": {
         "trampoline": dict(events=400_000, chains=8, repeats=4),
-        "engine_dispatch": dict(procs=32, events_per_proc=8_000, repeats=4),
+        "engine_dispatch": dict(procs=128, events_per_proc=2_000, repeats=4),
+        "burst": dict(procs=128, events_per_proc=2_000, repeats=4),
         "sync_kernel": dict(pairs=8, rounds=4_000, repeats=4),
         "tdlb_barrier": dict(iters=400, num_images=16, images_per_node=8, repeats=3),
+        "macro_barrier": dict(iters=10, num_images=1024, repeats=1),
     },
     "smoke": {
         "trampoline": dict(events=60_000, chains=8, repeats=2),
-        "engine_dispatch": dict(procs=16, events_per_proc=2_000, repeats=2),
+        "engine_dispatch": dict(procs=128, events_per_proc=500, repeats=2),
+        "burst": dict(procs=128, events_per_proc=500, repeats=2),
         "sync_kernel": dict(pairs=4, rounds=1_000, repeats=2),
         "tdlb_barrier": dict(iters=50, num_images=16, images_per_node=8, repeats=2),
+        "macro_barrier": dict(iters=5, num_images=256, repeats=1),
     },
 }
 
 _AB_BENCHES = {
     "trampoline": bench_trampoline,
     "engine_dispatch": bench_engine_dispatch,
+    "burst": bench_burst,
     "sync_kernel": bench_sync_kernel,
 }
 
@@ -108,6 +117,7 @@ def run_benchmarks(mode: str) -> dict:
     entry.pop("kernel")
     benchmarks["tdlb_barrier"] = entry
     benchmarks["tdlb_barrier_stats"] = _stats_sample()
+    benchmarks["macro_barrier"] = bench_macro_barrier(**sizes["macro_barrier"])
     return benchmarks
 
 
@@ -134,6 +144,14 @@ def render(payload: dict) -> str:
         f"engine microbenchmark: {head['engine_events_per_sec']:,.0f} events/s, "
         f"{head['speedup_vs_legacy']:.2f}x vs. pre-change kernel",
     ]
+    macro = payload["benchmarks"].get("macro_barrier")
+    if macro:
+        agree = "identical" if macro["identical_final_time"] else "DIVERGENT"
+        lines.append(
+            f"macro-event barrier ({macro['num_images']} images): "
+            f"{macro['events_fine']:,} -> {macro['events_macro']:,} engine "
+            f"events ({macro['event_ratio']:.0f}x fewer), final time {agree}"
+        )
     return "\n".join(lines)
 
 
@@ -219,6 +237,9 @@ def main(argv=None) -> int:
         "headline": {
             "engine_events_per_sec": engine_entry["events_per_sec"],
             "speedup_vs_legacy": engine_entry["speedup_vs_legacy"],
+            "macro_event_ratio": benchmarks["macro_barrier"]["event_ratio"],
+            "macro_identical_final_time":
+                benchmarks["macro_barrier"]["identical_final_time"],
         },
     }
 
@@ -228,6 +249,10 @@ def main(argv=None) -> int:
     print(render(payload))
     print(f"\nwrote {args.out}")
 
+    if not benchmarks["macro_barrier"]["identical_final_time"]:
+        print("FAIL: macro-event barrier final time diverges from "
+              "fine-grained mode", file=sys.stderr)
+        return 2
     if args.baseline:
         with open(args.baseline) as fh:
             base = json.load(fh)

@@ -17,6 +17,11 @@ Workloads
     per-event process-driver path (generator resume, command dispatch,
     timeout scheduling).  This is *the* engine microbenchmark — it is the
     shape of every charged cost in the runtime.
+``burst``
+    Timeout chains with *identical* delays so every dispatch instant
+    carries one event per process: the best case for the batched heap
+    drain (pop a whole same-time cohort per heap discipline) and the
+    worst case for a strictly per-event loop.
 ``sync_kernel``
     Producer/consumer pairs spinning on ``Cell``\\ s via ``WaitFor``:
     watcher checks, blocked-bookkeeping, wake-on-write — the shape of
@@ -25,6 +30,11 @@ Workloads
     End-to-end: a real :func:`~repro.runtime.program.run_spmd` TDLB
     barrier sweep on the current kernel (no legacy twin — the runtime
     layers only speak to :mod:`repro.sim`).
+``macro_barrier``
+    The macro-event A/B: the hierarchical TDLB barrier on a flat
+    ≥ 1k-image team, macro-events on vs off, on the current kernel.
+    Reports the engine-event ratio and checks the final simulated times
+    agree — the exactness contract, measured rather than assumed.
 """
 
 from __future__ import annotations
@@ -41,8 +51,8 @@ from . import _legacy
 
 __all__ = [
     "BenchResult", "KERNELS",
-    "bench_trampoline", "bench_engine_dispatch", "bench_sync_kernel",
-    "bench_tdlb_barrier",
+    "bench_trampoline", "bench_engine_dispatch", "bench_burst",
+    "bench_sync_kernel", "bench_tdlb_barrier", "bench_macro_barrier",
 ]
 
 #: The two kernels every microbenchmark can run against.
@@ -148,6 +158,36 @@ def bench_engine_dispatch(
     return _best_of("engine_dispatch", kernel_name, once, repeats)
 
 
+def bench_burst(
+    kernel_name: str = "current", procs: int = 128, events_per_proc: int = 2_000,
+    repeats: int = 3,
+) -> BenchResult:
+    """Batched-heap stress: every process ticks with the *same* delay.
+
+    All ``procs`` events land on identical timestamps, so each dispatch
+    instant is a full same-time cohort — the shape the batched drain in
+    ``Engine._run_fast`` amortizes and a per-event loop pays for one
+    heap round-trip at a time.
+    """
+    kernel = KERNELS[kernel_name]
+
+    def image() -> Any:
+        timeout = kernel.Timeout(1e-9)
+        for _ in range(events_per_proc):
+            yield timeout
+
+    def once() -> Tuple[int, float, float]:
+        engine = kernel.Engine()
+        for idx in range(procs):
+            kernel.Process(engine, image(), name=f"burst{idx}")
+        t0 = perf_counter()
+        engine.run()
+        wall = perf_counter() - t0
+        return engine.events_processed, wall, engine.now
+
+    return _best_of("burst", kernel_name, once, repeats)
+
+
 def bench_sync_kernel(
     kernel_name: str = "current", pairs: int = 8, rounds: int = 2_000,
     repeats: int = 3,
@@ -211,3 +251,49 @@ def bench_tdlb_barrier(
         return engine.events_processed, wall, result.time
 
     return _best_of("tdlb_barrier", "current", once, repeats)
+
+
+def bench_macro_barrier(
+    iters: int = 10, num_images: int = 1024, repeats: int = 1,
+) -> dict:
+    """Macro-event A/B: flat TDLB barrier sweep, macro on vs off.
+
+    A flat (block placement, one image per node) team keeps every
+    barrier window single-instant, so the macro coordinator sustains
+    collapse across the whole sweep; fine-grained mode executes the
+    full dissemination event by event.  Returns one composite entry:
+    engine-event counts for both modes, the ratio, both final simulated
+    times, and whether they agree exactly — the acceptance contract of
+    the macro-event subsystem (≥ 10x fewer events, identical time).
+    """
+
+    def once(macro: bool) -> Tuple[int, float, float]:
+        engine = _CurrentEngine()
+        machine = build_machine(
+            engine, paper_cluster(num_images), num_images, images_per_node=1,
+        )
+        t0 = perf_counter()
+        result = run_spmd(_barrier_main, machine=machine, args=(iters,),
+                          macro_events=macro)
+        wall = perf_counter() - t0
+        return engine.events_processed, wall, result.time
+
+    best: dict = {}
+    for _ in range(max(1, repeats)):
+        ev_fine, wall_fine, t_fine = once(macro=False)
+        ev_macro, wall_macro, t_macro = once(macro=True)
+        entry = {
+            "num_images": num_images,
+            "iters": iters,
+            "events_fine": ev_fine,
+            "events_macro": ev_macro,
+            "event_ratio": round(ev_fine / ev_macro, 1) if ev_macro else 0.0,
+            "wall_fine_s": round(wall_fine, 6),
+            "wall_macro_s": round(wall_macro, 6),
+            "sim_time_fine_s": t_fine,
+            "sim_time_macro_s": t_macro,
+            "identical_final_time": t_fine == t_macro,
+        }
+        if not best or entry["wall_macro_s"] < best["wall_macro_s"]:
+            best = entry
+    return best

@@ -57,31 +57,44 @@ def run_with_stats(engine: Engine, until: Optional[float] = None) -> EngineStats
     """Run ``engine`` to completion, collecting :class:`EngineStats`.
 
     Drives the per-event ``step()`` path (so the run is instrumented, not
-    fast-pathed) and peeks the heap top before each dispatch to attribute
-    the event to its label.  Raises
-    :class:`~repro.sim.errors.DeadlockError` exactly as ``run()`` would if
-    the heap drains with blocked processes.
+    fast-pathed) and peeks the next record before each dispatch to
+    attribute the event to its label.  ``peak_heap`` reports the maximum
+    number of simultaneously pending events (``Engine.pending_events``,
+    sampled before each dispatch).  Raises
+    :class:`~repro.sim.errors.DeadlockError` exactly as ``run()`` would
+    if the queue drains with blocked processes.
     """
     stats = EngineStats()
     histogram = stats.label_histogram
-    heap = engine._heap  # peeked read-only; step() does the popping
+    peek = engine.peek
     peak = 0
+    drained = True
     t0 = perf_counter()
-    while heap:
-        depth = len(heap)
+    while True:
+        head = peek()
+        if head is None:
+            # Queue dry: give drain hooks (macro-event demotion, see
+            # Engine.add_drain_hook) the same last chance run() gives
+            # them — any progress refills the queue and the loop resumes.
+            if engine.blocked_descriptions and any(
+                hook() for hook in list(engine._drain_hooks)
+            ):
+                continue
+            break
+        depth = engine.pending_events
         if depth > peak:
             peak = depth
-        record = heap[0]
-        if until is not None and record[0] > until:
+        time, label = head
+        if until is not None and time > until:
+            drained = False
             break
-        label = record[-1] or UNLABELED
-        histogram[label] = histogram.get(label, 0) + 1
+        histogram[label or UNLABELED] = histogram.get(label or UNLABELED, 0) + 1
         engine.step()
     stats.wall_s = perf_counter() - t0
     stats.peak_heap = peak
     stats.events = sum(histogram.values())
     stats.sim_time = engine.now
-    if not heap and engine.blocked_descriptions:
+    if drained and engine.blocked_descriptions:
         raise DeadlockError(engine.blocked_descriptions,
                             details=engine.blocked_details)
     return stats

@@ -65,6 +65,22 @@ class Conduit:
         ]
         #: lifetime message counters by path, for the accounting experiments
         self.counts = {"remote": 0, "loopback": 0, "direct": 0}
+        #: back-reference to :class:`repro.collectives.macro.MacroBarriers`
+        #: (set by the World that owns this conduit); None when the run has
+        #: no macro-event coordinator
+        self.macro = None
+
+    def note_async(self) -> None:
+        """Record that asynchronous traffic exists in this run.
+
+        Non-blocking transfers complete through callback chains the
+        macro-event eligibility sweep cannot see (a ``get_nb`` response
+        leg, an event-relay hop), so the first one permanently pins every
+        subsequent barrier window to the fine-grained path.
+        """
+        macro = self.macro
+        if macro is not None:
+            macro.note_async()
 
     def progress_engine(self, node: int) -> Resource:
         return self._engines[node]
@@ -208,6 +224,7 @@ class Conduit:
         completion (the source buffer is reusable); ``on_delivered``
         fires when the payload lands at the target.
         """
+        self.note_async()
         resolved = self.resolve_path(src_image, dst_image, path)
         self.counts[resolved] += 1
         faults = self.faults

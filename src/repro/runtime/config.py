@@ -66,6 +66,14 @@ class RuntimeConfig:
     #: deterministic per-call factors in [1, 1+jitter] from a seeded RNG,
     #: so jittered runs are still exactly reproducible
     compute_jitter: float = 0.0
+    #: allow :mod:`repro.collectives.macro` to collapse eligible barrier
+    #: windows into analytically-replayed macro-events.  The replay is
+    #: exact (same final coarray state, same simulated times), and the
+    #: runtime automatically falls back to fine-grained execution whenever any
+    #: observer (monitor, trace, tiebreak RNG, fault schedule) is
+    #: attached, so this is safe to leave on; set False to force the
+    #: fine-grained path unconditionally.
+    macro_events: bool = True
 
     @property
     def compute_efficiency(self) -> float:

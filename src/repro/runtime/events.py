@@ -123,6 +123,11 @@ class EventVar:
             )
             return
 
+        # The relay's second hop completes through a delivery callback the
+        # macro-event eligibility sweep cannot account for — pin all
+        # subsequent barrier windows to the fine-grained path.
+        conduit.note_async()
+
         # Leader-mediated cross-node post.  Wrap the final effect against
         # the ORIGINAL endpoints once, here: the fault filter must ask
         # whether the owner (not the leader) is dead, and the monitor

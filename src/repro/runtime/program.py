@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..calibration import ConduitProfile
+from ..collectives.macro import MacroBarriers
 from ..collectives.reduce import REDUCE_OPS
 from ..collectives.registry import resolve
 from ..faults.manager import (
@@ -97,6 +98,13 @@ class World:
             machine, config.conduit_profile,
             hierarchy_aware=config.hierarchy_aware, faults=self.faults,
         )
+        #: macro-event coordinator — collapses provably-unobservable
+        #: barrier windows into analytic wake events (see
+        #: :mod:`repro.collectives.macro`); it self-disables whenever a
+        #: monitor/trace/tiebreak/fault observer is attached, so it is
+        #: always constructed
+        self.macro = MacroBarriers(self)
+        self.conduit.macro = self.macro
         self.initial_shared = TeamShared(
             engine=self.engine,
             topology=machine.topology,
@@ -182,6 +190,13 @@ class CafContext:
         """The run's fault manager, or None when no faults are injected.
         The collectives' failure-aware waits read this (duck-typed)."""
         return self.world.faults
+
+    @property
+    def macro(self) -> MacroBarriers:
+        """The run's macro-event coordinator (duck-typed: barrier
+        wrappers probe ``getattr(ctx, "macro", None)``, so test contexts
+        without one simply stay fine-grained)."""
+        return self.world.macro
 
     def compute_cost(self, flops: float) -> Timeout:
         """A yieldable command charging ``flops`` of local work at this
@@ -939,6 +954,7 @@ def run_spmd(
     tiebreak_seed: Optional[int] = None,
     monitor: Optional[Any] = None,
     faults: Optional[FaultSchedule] = None,
+    macro_events: Optional[bool] = None,
 ) -> SpmdResult:
     """Run ``main(ctx, *args)`` as an SPMD program on a simulated cluster.
 
@@ -962,7 +978,15 @@ def run_spmd(
     arguments, or as a raised
     :class:`repro.faults.FailedImageError` without one.  A null schedule
     (or None) leaves the run byte-identical to the fault-free runtime.
+
+    ``macro_events`` overrides ``config.macro_events`` for this run:
+    False forces every barrier through the fine-grained path, True
+    re-enables the (default-on) macro-event collapse.  The result is
+    identical either way — macro-events are a scheduling optimization —
+    so this knob exists for A/B verification and benchmarks.
     """
+    if macro_events is not None:
+        config = config.with_(macro_events=macro_events)
     if machine is None:
         if num_images is None:
             raise ValueError("need num_images (or a prebuilt machine)")

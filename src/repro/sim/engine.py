@@ -20,6 +20,27 @@ permutation is a legal interleaving of the simulated program; a program
 whose *semantic* result changes under a different seed has a real
 ordering bug.  With no seed (the default) the insertion-order policy is
 byte-identical to the historical behaviour.
+
+Event storage (batched execution)
+---------------------------------
+Events live in per-instant *buckets*: ``_buckets`` maps a timestamp to
+the sorted list of records due at that instant, and ``_times`` is a
+min-heap over the timestamps only.  Simulated workloads are bursty — a
+barrier round puts whole waves of images at the same instant — so the
+run loop pays one ``heappop`` per *instant* instead of one per *event*
+and drains each bucket with O(1) list pops.  Scheduling into an instant
+that already has a bucket is a list append (amortized O(1): sequence
+numbers only grow, so new records usually belong at the tail) instead of
+an O(log n) ``heappush``.  The heap may hold a stale timestamp after its
+bucket drains through ``step()``; ``_peek_time`` discards those lazily.
+
+One deliberately documented fast-path refinement: while ``run()`` drains
+the bucket at instant ``t``, an event scheduled *at* ``t`` lands in a
+fresh bucket and fires after every event already pending at ``t`` —
+which is exactly where its (maximal) sequence number would have placed
+it, **unless** it carries a non-default priority.  Nothing in the tree
+schedules with a priority from inside a same-instant callback; the
+instrumented ``step()`` path keeps exact key order for such events.
 """
 
 from __future__ import annotations
@@ -28,9 +49,10 @@ import heapq
 import itertools
 import math
 import random
+from bisect import insort
 from typing import Any, Callable, Optional, Union
 
-from .errors import DeadlockError, SimulationLimitExceeded
+from .errors import DeadlockError, ProcessFailure, SimulationLimitExceeded
 
 __all__ = ["Engine"]
 
@@ -41,18 +63,35 @@ _INF = math.inf
 
 #: Default-path event records merge ``(priority, seq)`` into one integer
 #: key — ``priority * _PRIORITY_STRIDE + seq`` — so a record is a lean
-#: 4-tuple.  The stride exceeds any reachable sequence number (the event
-#: ceiling tops out around 5e8 ≪ 2**48), so priority strictly dominates
-#: and insertion order breaks ties, for negative priorities too.
+#: 3-tuple ``(key, fn, label)``.  The stride exceeds any reachable
+#: sequence number (the event ceiling tops out around 5e8 ≪ 2**48), so
+#: priority strictly dominates and insertion order breaks ties, for
+#: negative priorities too.
 _PRIORITY_STRIDE = 2 ** 48
 
 #: Default ceiling on processed events; generous enough for the largest
 #: benchmark in the suite (HPL at 256 images) while still catching livelock.
 DEFAULT_MAX_EVENTS = 500_000_000
 
+#: Filled in by :mod:`repro.sim.process` at import time so the fast run
+#: loop can recognize a scheduled :class:`Process` record and inline its
+#: no-value resume (the single hottest edge in the simulator) without a
+#: circular import.  ``None`` until registration: the identity test in
+#: ``_run_fast`` then never matches and every record takes the generic
+#: ``fn()`` path, so a bare engine works without the process layer.
+_PROCESS_CLASS: Any = None
+_TIMEOUT_CLASS: Any = None
+
+
+def _register_process_types(process_cls: type, timeout_cls: type) -> None:
+    """Hook for :mod:`repro.sim.process`: enable the inlined resume lane."""
+    global _PROCESS_CLASS, _TIMEOUT_CLASS
+    _PROCESS_CLASS = process_cls
+    _TIMEOUT_CLASS = timeout_cls
+
 
 class Engine:
-    """Event-heap simulation kernel with a float-seconds clock.
+    """Bucketed event-queue simulation kernel with a float-seconds clock.
 
     Parameters
     ----------
@@ -69,19 +108,20 @@ class Engine:
         ``None`` (the default) for the historical insertion-order policy.
 
     .. note::
-       ``schedule`` and ``call_now`` are per-instance closures bound in
-       ``__init__`` (one flavour per tiebreak mode) with the heap,
-       ``heappush`` and the sequence counter pre-captured: the hot loop
-       calls them millions of times per simulated second, and the
-       specialization drops four attribute lookups and the bound-method
-       re-creation from every call.  Their contract is documented on
-       :meth:`_bind_schedule`.
+       ``schedule``, ``call_now`` and ``schedule_at`` are per-instance
+       closures bound in ``__init__`` (one flavour per tiebreak mode)
+       with the bucket dict, times heap and the sequence counter
+       pre-captured: the hot loop calls them millions of times per
+       simulated second, and the specialization drops the attribute
+       lookups and bound-method re-creation from every call.  Their
+       contract is documented on :meth:`_bind_schedule`.
     """
 
     __slots__ = (
-        "_heap", "_now", "_max_events", "_events_processed", "_trace",
-        "_tiebreak_seed", "_tiebreak_rng", "monitor", "_blocked",
-        "_blocked_info", "_blocked_seq", "_running", "schedule", "call_now",
+        "_times", "_buckets", "_seq_counter", "_now", "_max_events",
+        "_events_processed", "_trace", "_tiebreak_seed", "_tiebreak_rng",
+        "monitor", "_blocked", "_blocked_info", "_blocked_seq", "_running",
+        "_drain_hooks", "schedule", "call_now", "schedule_at",
     )
 
     def __init__(
@@ -90,14 +130,20 @@ class Engine:
         trace: Optional[Callable[[float, str], None]] = None,
         tiebreak_seed: Optional[int] = None,
     ):
-        # Event records are lean 4-tuples ``(time, key, fn, label)`` on the
+        # Event records are lean 3-tuples ``(key, fn, label)`` on the
         # default path, with ``key = priority * _PRIORITY_STRIDE + seq``;
-        # with a ``tiebreak_seed`` they are the historical 6-tuples
-        # ``(time, priority, jitter, seq, fn, label)``.  The two shapes
-        # never mix within one engine (the seed is fixed at construction),
-        # and with jitter pinned at 0.0 the 6-tuple ordered exactly as the
-        # 4-tuple's merged key — so the lean record cannot reorder anything.
-        self._heap: list[tuple] = []
+        # with a ``tiebreak_seed`` they are 5-tuples
+        # ``(priority, jitter, seq, fn, label)``.  The two shapes never
+        # mix within one engine (the seed is fixed at construction), and
+        # with jitter pinned at 0.0 the 5-tuple orders exactly as the
+        # 3-tuple's merged key — so the lean record cannot reorder
+        # anything (tests/test_sim_engine_equivalence.py proves it).
+        self._times: list[float] = []
+        self._buckets: dict[float, list[tuple]] = {}
+        # One shared C-level counter so the schedule closures *and* the
+        # inlined resume lane in ``_run_fast`` mint sequence numbers from
+        # the same stream.
+        self._seq_counter = itertools.count(1)
         self._now = 0.0
         self._max_events = int(max_events)
         self._events_processed = 0
@@ -116,10 +162,13 @@ class Engine:
         self._blocked_info: dict[int, Any] = {}
         self._blocked_seq = itertools.count()
         self._running = False
+        # Last-chance hooks consulted when the queue drains with blocked
+        # processes, before a DeadlockError is raised; see add_drain_hook.
+        self._drain_hooks: list[Callable[[], bool]] = []
         self._bind_schedule()
 
     def _bind_schedule(self) -> None:
-        """Bind the per-instance ``schedule``/``call_now`` closures.
+        """Bind the per-instance scheduling closures.
 
         ``schedule(delay, fn, priority=0, label="")`` runs ``fn`` after
         ``delay`` simulated seconds.  ``delay`` must be finite and
@@ -130,13 +179,32 @@ class Engine:
 
         ``call_now(fn, label="")`` schedules ``fn`` at the current
         instant, after pending same-time events.
+
+        ``schedule_at(time, fn, priority=0, label="")`` schedules ``fn``
+        at the *absolute* timestamp ``time`` (``now <= time < inf``).
+        Macro-events (:mod:`repro.collectives.macro`) replay analytic
+        timelines through this: an absolute target avoids the float
+        round-trip of ``now + (time - now)``, which is not exact.
         """
-        heap = self._heap
+        times = self._times
+        buckets = self._buckets
+        bucket_get = buckets.get
         push = heapq.heappush
         rng = self._tiebreak_rng
-        seq = 0  # tail tie-break counter, shared by both closures
+        nextseq = self._seq_counter.__next__
 
         if rng is None:
+
+            def _insert(time: float, key: int, fn, label: str) -> None:
+                rec = (key, fn, label)
+                b = bucket_get(time)
+                if b is None:
+                    buckets[time] = [rec]
+                    push(times, time)
+                elif key > b[-1][0]:
+                    b.append(rec)
+                else:
+                    insort(b, rec)
 
             def schedule(
                 delay: float,
@@ -154,24 +222,50 @@ class Engine:
                     raise ValueError(
                         f"delay must be finite and >= 0, got {delay!r}"
                     )
-                nonlocal seq
-                seq += 1
-                push(
-                    heap,
-                    (
-                        time,
-                        priority * _PRIORITY_STRIDE + seq if priority else seq,
-                        fn,
-                        label,
-                    ),
+                seq = nextseq()
+                _insert(
+                    time,
+                    priority * _PRIORITY_STRIDE + seq if priority else seq,
+                    fn,
+                    label,
                 )
 
             def call_now(fn: Callable[[], None], label: str = "") -> None:
-                nonlocal seq
-                seq += 1
-                push(heap, (self._now, seq, fn, label))
+                seq = nextseq()
+                _insert(self._now, seq, fn, label)
+
+            def schedule_at(
+                time: float,
+                fn: Callable[[], None],
+                priority: int = 0,
+                label: str = "",
+            ) -> None:
+                if not self._now <= time < _INF:
+                    raise ValueError(
+                        f"schedule_at time must be >= now and finite, "
+                        f"got {time!r} (now={self._now!r})"
+                    )
+                seq = nextseq()
+                _insert(
+                    time,
+                    priority * _PRIORITY_STRIDE + seq if priority else seq,
+                    fn,
+                    label,
+                )
 
         else:
+
+            def _insert_jittered(time: float, rec: tuple) -> None:
+                # Tuple comparison stops at ``seq`` (position 2, unique),
+                # so ``fn`` is never compared.
+                b = bucket_get(time)
+                if b is None:
+                    buckets[time] = [rec]
+                    push(times, time)
+                elif rec > b[-1]:
+                    b.append(rec)
+                else:
+                    insort(b, rec)
 
             def schedule(
                 delay: float,
@@ -185,17 +279,30 @@ class Engine:
                     raise ValueError(
                         f"delay must be finite and >= 0, got {delay!r}"
                     )
-                nonlocal seq
-                seq += 1
-                push(heap, (time, priority, rng.random(), seq, fn, label))
+                seq = nextseq()
+                _insert_jittered(time, (priority, rng.random(), seq, fn, label))
 
             def call_now(fn: Callable[[], None], label: str = "") -> None:
-                nonlocal seq
-                seq += 1
-                push(heap, (self._now, 0, rng.random(), seq, fn, label))
+                seq = nextseq()
+                _insert_jittered(self._now, (0, rng.random(), seq, fn, label))
+
+            def schedule_at(
+                time: float,
+                fn: Callable[[], None],
+                priority: int = 0,
+                label: str = "",
+            ) -> None:
+                if not self._now <= time < _INF:
+                    raise ValueError(
+                        f"schedule_at time must be >= now and finite, "
+                        f"got {time!r} (now={self._now!r})"
+                    )
+                seq = nextseq()
+                _insert_jittered(time, (priority, rng.random(), seq, fn, label))
 
         self.schedule = schedule
         self.call_now = call_now
+        self.schedule_at = schedule_at
 
     # ------------------------------------------------------------------
     # Clock & scheduling
@@ -214,6 +321,35 @@ class Engine:
     def tiebreak_seed(self) -> Optional[int]:
         """The schedule-fuzzing seed, or ``None`` for insertion order."""
         return self._tiebreak_seed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-undispatched events.  Exact whenever
+        the engine is between events (``step()``-driven runs, inside
+        event callbacks of such runs, after ``run()`` returns); a
+        callback running inside a fast-path drain does not see the
+        undispatched remainder of the batch it is part of."""
+        return sum(map(len, self._buckets.values()))
+
+    def _peek_time(self) -> Optional[float]:
+        """Earliest pending timestamp, discarding stale heap entries
+        (timestamps whose bucket has already drained)."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            if t in buckets:
+                return t
+            heapq.heappop(times)
+        return None
+
+    def peek(self) -> Optional[tuple[float, str]]:
+        """``(time, label)`` of the next event to fire, or ``None``.
+        Instrumentation helper (``repro.perf``); not a hot-path API."""
+        t = self._peek_time()
+        if t is None:
+            return None
+        return t, self._buckets[t][0][-1]
 
     # ------------------------------------------------------------------
     # Blocked-process bookkeeping (for deadlock diagnostics)
@@ -263,25 +399,57 @@ class Engine:
         ]
 
     # ------------------------------------------------------------------
+    # Drain hooks (macro-event fallback)
+    # ------------------------------------------------------------------
+    def add_drain_hook(self, hook: Callable[[], bool]) -> None:
+        """Register a last-chance hook run when the queue drains while
+        processes are still blocked, *before* a DeadlockError is raised.
+
+        A hook returns ``True`` if it made progress (woke a process,
+        scheduled an event) — the run loop then resumes draining — and
+        ``False`` when it has nothing left to do.  Hooks must converge:
+        a hook that keeps returning ``True`` without changing state
+        livelocks the run.  Macro-events use this to demote incomplete
+        macro gathers to the fine-grained path so that a *genuine*
+        deadlock (an image that never arrives) reproduces the exact
+        fine-grained diagnostics.
+        """
+        self._drain_hooks.append(hook)
+
+    def remove_drain_hook(self, hook: Callable[[], bool]) -> None:
+        """Deregister a hook added by :meth:`add_drain_hook` (no-op if absent)."""
+        try:
+            self._drain_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Dispatch the single earliest event. Returns False if the heap is empty.
+        """Dispatch the single earliest event. Returns False if no event is pending.
 
         This is the instrumentation-friendly slow path: the
         :meth:`run` loop inlines the same logic with locals hoisted, so
         tools that need per-event control (``repro.perf`` stats, tests)
         can drive ``step()`` without the fast loop having to pay for the
-        method call on every event.
+        method call on every event.  Unlike the fast path, ``step()``
+        keeps exact ``(time, key)`` order even for prioritized events
+        scheduled at the instant being drained.
         """
-        if not self._heap:
+        t = self._peek_time()
+        if t is None:
             return False
-        record = heapq.heappop(self._heap)
-        # Record shape varies with tiebreak mode; time/fn/label positions
-        # are stable at the ends.
-        time = record[0]
+        buckets = self._buckets
+        bucket = buckets[t]
+        record = bucket[0]
+        if len(bucket) == 1:
+            del buckets[t]
+            heapq.heappop(self._times)  # _peek_time verified the top is t
+        else:
+            del bucket[0]
         # The clock never moves backwards; equal times are fine.
-        self._now = time
+        self._now = t
         self._events_processed += 1
         if self._events_processed > self._max_events:
             raise SimulationLimitExceeded(
@@ -289,7 +457,7 @@ class Engine:
             )
         label = record[-1]
         if self._trace is not None and label:
-            self._trace(time, label)
+            self._trace(t, label)
         record[-2]()
         return True
 
@@ -297,22 +465,37 @@ class Engine:
         """Run until the event queue drains (or simulated time passes ``until``).
 
         Returns the final simulated time.  If the queue drains while
-        processes are still registered as blocked, raises
-        :class:`~repro.sim.errors.DeadlockError` — silence is never
-        mistaken for success.
+        processes are still registered as blocked, drain hooks get one
+        last chance to make progress (see :meth:`add_drain_hook`); if
+        none does, raises :class:`~repro.sim.errors.DeadlockError` —
+        silence is never mistaken for success.
         """
         if self._running:
             raise RuntimeError("Engine.run() is not reentrant")
         self._running = True
         try:
-            if until is None and self._tiebreak_rng is None:
-                self._run_fast()
-            else:
-                while self._heap:
-                    if until is not None and self._heap[0][0] > until:
-                        self._now = until
-                        return self._now
-                    self.step()
+            fast = until is None and self._tiebreak_rng is None
+            while True:
+                if fast:
+                    self._run_fast()
+                else:
+                    step = self.step
+                    while True:
+                        t = self._peek_time()
+                        if t is None:
+                            break
+                        if until is not None and t > until:
+                            self._now = until
+                            return until
+                        step()
+                if self._blocked and self._drain_hooks:
+                    progressed = False
+                    for hook in list(self._drain_hooks):
+                        if hook():
+                            progressed = True
+                    if progressed:
+                        continue
+                break
             if self._blocked:
                 raise DeadlockError(self.blocked_descriptions,
                                     details=self.blocked_details)
@@ -321,43 +504,175 @@ class Engine:
             self._running = False
 
     def _run_fast(self) -> None:
-        """Drain the heap on the default path (no ``until`` horizon, no
-        tiebreak jitter): the per-event dispatch with ``heappop`` and the
-        heap hoisted into locals and no ``step()`` call per event.  Event
-        order, clock updates, tracing and the ``max_events`` ceiling are
-        exactly those of :meth:`step`."""
-        heap = self._heap          # heappush in schedule() mutates in place
+        """Drain the queue on the default path (no ``until`` horizon, no
+        tiebreak jitter): one ``heappop`` per *instant*, then a plain
+        index walk over the instant's bucket, with everything hot hoisted
+        into locals.  Event order, clock updates, tracing and the
+        ``max_events`` ceiling match :meth:`step` (modulo the documented
+        same-instant-priority refinement in the module doc).
+
+        When the record's callable is a :class:`~repro.sim.process.Process`
+        the no-value resume is inlined here — finished/monitor guards,
+        generator send, and the dominant ``Timeout`` reschedule as a
+        direct bucket append — eliminating two Python frames per event on
+        the hottest edge in the simulator.  ``Timeout`` objects validate
+        their delay at construction, so the inline reschedule adds the
+        delay without re-checking it.
+
+        A bucket under drain is never mutated: events scheduled at the
+        instant being drained land in a *fresh* dict bucket (the current
+        one was popped), which the outer loop picks up next — so the
+        index walk needs no bounds re-checks, and per-event bookkeeping
+        (``processed``, the ceiling test) amortizes to one batch-sized
+        update.  The ceiling only gets per-event checks in the cold
+        branch where it falls inside the current batch.
+        """
+        times = self._times
+        buckets = self._buckets
+        bucket_get = buckets.get
+        bucket_pop = buckets.pop
         heappop = heapq.heappop
+        heappush = heapq.heappush
         trace = self._trace
         max_events = self._max_events
+        nextseq = self._seq_counter.__next__
+        proc_cls = _PROCESS_CLASS
+        timeout_cls = _TIMEOUT_CLASS
         processed = self._events_processed
         # ``_events_processed`` is kept in a local and written back when
         # the loop exits (or an event raises): one store per event saved,
         # at the cost of the attribute being stale *while a callback
         # runs* — nothing in the tree reads it mid-event, and the
         # instrumented ``step()`` path keeps exact per-event updates.
+        t = 0.0
+        batch: Any = None
+        record: Any = None
         try:
             if trace is None:
-                while heap:
-                    time, _key, fn, _label = heappop(heap)
-                    self._now = time
-                    processed += 1
-                    if processed > max_events:
-                        raise SimulationLimitExceeded(
-                            f"exceeded max_events={max_events} at t={time:.9f}s"
-                        )
-                    fn()
+                while times:
+                    t = heappop(times)
+                    cur = bucket_pop(t, None)
+                    if cur is None:
+                        continue  # stale heap entry: bucket already drained
+                    self._now = t
+                    n = len(cur)
+                    monitor = self.monitor
+                    if monitor is not None or processed + n > max_events:
+                        # Cold branch: a monitor brackets every resume
+                        # (Process.__call__ handles it), or the event
+                        # ceiling falls inside this batch — per-event
+                        # checks, generic dispatch.
+                        batch = cur
+                        k = 0
+                        for record in batch:
+                            if processed + k >= max_events:
+                                raise SimulationLimitExceeded(
+                                    f"exceeded max_events={max_events} "
+                                    f"at t={t:.9f}s"
+                                )
+                            k += 1
+                            record[-2]()
+                        processed += n
+                        batch = None
+                        continue
+                    batch = cur
+                    # Same-target bucket cache: consecutive reschedules
+                    # into one future instant (a wave re-arming the same
+                    # delay) skip the dict probe.  Reset per batch — the
+                    # cached list can only leave the dict via the outer
+                    # loop's bucket_pop.
+                    last_t2 = -1.0
+                    last_b: Any = None
+                    for record in batch:
+                        fn = record[1]
+                        if fn.__class__ is not proc_cls:
+                            fn()
+                            continue
+                        # -- inlined Process.__call__ (no-value resume) --
+                        if fn._finished:
+                            continue  # fail-stopped/completed: stale wake
+                        try:
+                            command = fn._send(None)
+                        except StopIteration as stop:
+                            fn._finished = True
+                            fn.done.trigger(stop.value)
+                            continue
+                        except Exception as exc:  # noqa: BLE001 - wrap model bugs
+                            fn._finished = True
+                            raise ProcessFailure(fn.name, exc) from exc
+                        if command.__class__ is not timeout_cls:
+                            fn._dispatch(command)
+                            continue
+                        t2 = t + command.delay
+                        seq = nextseq()
+                        rec = (seq, fn, fn._timeout_label)
+                        if t2 == last_t2:
+                            if seq > last_b[-1][0]:
+                                last_b.append(rec)
+                            else:
+                                insort(last_b, rec)
+                            continue
+                        b = bucket_get(t2)
+                        if b is None:
+                            b = [rec]
+                            buckets[t2] = b
+                            heappush(times, t2)
+                        elif seq > b[-1][0]:
+                            b.append(rec)
+                        else:
+                            insort(b, rec)
+                        last_t2 = t2
+                        last_b = b
+                    processed += n
+                    batch = None
             else:
-                while heap:
-                    time, _key, fn, label = heappop(heap)
-                    self._now = time
-                    processed += 1
-                    if processed > max_events:
-                        raise SimulationLimitExceeded(
-                            f"exceeded max_events={max_events} at t={time:.9f}s"
-                        )
-                    if label:
-                        trace(time, label)
-                    fn()
+                while times:
+                    t = heappop(times)
+                    cur = bucket_pop(t, None)
+                    if cur is None:
+                        continue
+                    self._now = t
+                    n = len(cur)
+                    batch = cur
+                    if processed + n > max_events:
+                        k = 0
+                        for record in batch:
+                            if processed + k >= max_events:
+                                raise SimulationLimitExceeded(
+                                    f"exceeded max_events={max_events} "
+                                    f"at t={t:.9f}s"
+                                )
+                            k += 1
+                            label = record[-1]
+                            if label:
+                                trace(t, label)
+                            record[-2]()
+                    else:
+                        for record in batch:
+                            label = record[-1]
+                            if label:
+                                trace(t, label)
+                            record[-2]()
+                    processed += n
+                    batch = None
+        except BaseException:
+            # Restore the undispatched remainder (plus anything the
+            # failing event scheduled back at ``t``) so the queue stays
+            # coherent for post-mortem inspection or a resumed run.  The
+            # failing record is counted but dropped — exactly the
+            # historical heappop-then-raise accounting.  (Looking the
+            # record up by value is safe: tuple equality resolves on the
+            # unique leading key before ever comparing ``fn``.)
+            if batch is not None:
+                consumed = batch.index(record) + 1
+                processed += consumed
+                remainder = batch[consumed:]
+                if remainder:
+                    newer = bucket_pop(t, None)
+                    if newer is not None:
+                        remainder = sorted(remainder + newer)
+                    buckets[t] = remainder
+                    heappush(times, t)
+            raise
         finally:
             self._events_processed = processed

@@ -219,6 +219,17 @@ class Resource:
         return len(self._queue)
 
     @property
+    def idle(self) -> bool:
+        """True when nothing holds the resource and nothing is queued.
+
+        Macro-events (:mod:`repro.collectives.macro`) sweep every machine
+        resource through this before collapsing a barrier window: a busy
+        bus or NIC means in-flight foreign traffic could contend with the
+        barrier's own transfers, so the window must run fine-grained.
+        """
+        return self._in_use == 0 and not self._queue
+
+    @property
     def total_grants(self) -> int:
         """Lifetime number of acquisitions granted (contention statistics)."""
         return self._granted

@@ -32,6 +32,7 @@ without any driver support.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
@@ -48,25 +49,38 @@ __all__ = [
 ProcGen = Generator[Any, Any, Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout:
-    """Advance the issuing process by ``delay`` simulated seconds."""
+    """Advance the issuing process by ``delay`` simulated seconds.
+
+    ``delay`` is validated here, at construction (finite and
+    non-negative), so a Timeout *instance* is always schedulable — the
+    engine's inlined resume lane relies on that to skip re-validating the
+    dominant command on every event.  ``slots=True`` on all command
+    dataclasses removes the per-instance ``__dict__``: commands are
+    created once per yielded cost on the hot path, and their attribute
+    reads sit inside the engine's inner loop.
+    """
 
     delay: float
 
     def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
+        # Chained comparison rejects negatives, inf and (any comparison
+        # with NaN being false) nan in one expression.
+        if not 0.0 <= self.delay < math.inf:
+            raise ValueError(
+                f"Timeout delay must be finite and >= 0, got {self.delay}"
+            )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Wait:
     """Block until ``event`` triggers; the process resumes with its value."""
 
     event: SimEvent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitFor:
     """Block until ``pred(cell.value)`` is true (wake-on-write, zero cost)."""
 
@@ -74,14 +88,14 @@ class WaitFor:
     pred: Callable[[Any], bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acquire:
     """Block until ``resource`` is granted; caller must release it."""
 
     resource: Resource
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hold:
     """Acquire ``resource``, hold it ``duration`` seconds, then release."""
 
@@ -122,8 +136,7 @@ class Process:
     """
 
     __slots__ = ("_engine", "_gen", "_send", "name", "actor", "done",
-                 "_blocked_token", "_finished", "_timeout_label",
-                 "_resume_none")
+                 "_blocked_token", "_finished", "_timeout_label")
 
     def __init__(self, engine: Engine, gen: ProcGen, name: str = "proc",
                  actor: Optional[Any] = None):
@@ -135,46 +148,47 @@ class Process:
         self.done = SimEvent(engine, name=f"{name}.done")
         self._blocked_token: Optional[int] = None
         self._finished = False
-        # A process has at most one outstanding resume (it drives a single
-        # generator), so one reusable callback and one preformatted label
-        # serve every Timeout it ever yields.  The monitor-off body of
-        # ``_step(None)`` is inlined here: a Timeout resume is the single
-        # hottest edge in the simulator, and the closure saves a call frame
-        # plus the attribute hops (generator send, engine, schedule, label
-        # all live in cells).  ``_step`` stays the reference path for
-        # value-carrying resumes and monitored runs.
-        timeout_label = f"{name}.timeout"
-        self._timeout_label = timeout_label
-        send = gen.send
-        schedule = engine.schedule
-
-        def _resume_none() -> None:
-            if self._finished:
-                return  # fail-stopped (or completed): stale wake-up
-            if engine.monitor is not None:
-                self._step_monitored(None, engine.monitor)
-                return
-            try:
-                command = send(None)
-            except StopIteration as stop:
-                self._finished = True
-                self.done.trigger(stop.value)
-                return
-            except Exception as exc:  # noqa: BLE001 - wrap any model bug
-                self._finished = True
-                raise ProcessFailure(self.name, exc) from exc
-            if type(command) is Timeout:
-                schedule(command.delay, _resume_none, label=timeout_label)
-                return
-            handler = _DISPATCH.get(type(command))
-            if handler is None:
-                self._dispatch_other(command)
-            else:
-                handler(self, command)
-
-        self._resume_none = _resume_none
+        # A process has at most one outstanding no-value resume (it drives
+        # a single generator), so the process object itself is the
+        # callback for its spawn step and every Timeout it ever yields
+        # (``__call__`` below), and one preformatted label serves them
+        # all.  Scheduling ``self`` instead of a closure is what lets the
+        # engine's fast loop recognize the record by class and inline the
+        # resume without any per-event indirection.
+        self._timeout_label = f"{name}.timeout"
         # Start at the current instant so spawn order = first-step order.
-        engine.call_now(_resume_none, label=f"{name}.start")
+        engine.call_now(self, label=f"{name}.start")
+
+    def __call__(self) -> None:
+        """Resume the generator with no value (spawn step or Timeout
+        expiry).  ``Engine._run_fast`` inlines this exact body when it
+        recognizes a scheduled :class:`Process`; this method is the same
+        logic for every other dispatch path (``step()``, trace lane,
+        tiebreak/until runs) — the two must stay behaviourally identical.
+        """
+        if self._finished:
+            return  # fail-stopped (or completed): stale wake-up
+        monitor = self._engine.monitor
+        if monitor is not None:
+            self._step_monitored(None, monitor)
+            return
+        try:
+            command = self._send(None)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - wrap any model bug
+            self._finished = True
+            raise ProcessFailure(self.name, exc) from exc
+        if type(command) is Timeout:
+            self._engine.schedule(command.delay, self, label=self._timeout_label)
+            return
+        handler = _DISPATCH.get(type(command))
+        if handler is None:
+            self._dispatch_other(command)
+        else:
+            handler(self, command)
 
     @property
     def finished(self) -> bool:
@@ -242,7 +256,7 @@ class Process:
         # it is tested inline before the dispatch-table lookup.
         if type(command) is Timeout:
             self._engine.schedule(
-                command.delay, self._resume_none, label=self._timeout_label
+                command.delay, self, label=self._timeout_label
             )
             return
         handler = _DISPATCH.get(type(command))
@@ -286,7 +300,7 @@ class Process:
     # -- per-command handlers (type-keyed via _DISPATCH) ----------------
     def _do_timeout(self, command: Timeout) -> None:
         self._engine.schedule(
-            command.delay, self._resume_none, label=self._timeout_label
+            command.delay, self, label=self._timeout_label
         )
 
     def _do_wait(self, command: Wait) -> None:
@@ -362,3 +376,9 @@ _DISPATCH: dict = {
     Acquire: Process._do_acquire,
     Hold: Process._do_hold,
 }
+
+# Let the engine's fast run loop recognize scheduled Process records and
+# inline the no-value resume (see Engine._run_fast).
+from . import engine as _engine_module  # noqa: E402 - registration hook
+
+_engine_module._register_process_types(Process, Timeout)

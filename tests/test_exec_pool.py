@@ -70,8 +70,37 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV, "8")
         assert resolve_jobs(2) == 2
 
-    def test_auto_is_cpu_count(self):
-        assert resolve_jobs("auto") == min(os.cpu_count() or 1, MAX_JOBS)
+    def test_auto_is_effective_cpu_count(self):
+        from repro.exec.pool import effective_cpu_count
+        assert resolve_jobs("auto") == min(effective_cpu_count(), MAX_JOBS)
+
+    def test_auto_falls_back_to_inline_on_single_cpu(self, monkeypatch):
+        # BENCH_HARNESS.json: pooled speedup 0.873 on the 1-CPU runner —
+        # with one core available, -j auto must mean "run inline".
+        import repro.exec.pool as pool_mod
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: {0}, raising=False)
+        assert pool_mod.auto_jobs() == 1
+        assert resolve_jobs("auto") == 1
+
+    def test_auto_respects_affinity_mask_not_machine_size(self, monkeypatch):
+        # A 64-core machine with the process pinned to 2 cores gets 2
+        # workers, not 64.
+        import repro.exec.pool as pool_mod
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 1}, raising=False)
+        assert pool_mod.auto_jobs() == 2
+
+    def test_effective_cpu_count_survives_missing_affinity(self, monkeypatch):
+        # Platforms without sched_getaffinity (macOS/Windows) fall back
+        # to cpu_count.
+        import repro.exec.pool as pool_mod
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity", None,
+                            raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 5)
+        from repro.exec.pool import effective_cpu_count
+        assert effective_cpu_count() == 5
 
     def test_zero_and_negative_mean_auto(self):
         assert resolve_jobs(0) == resolve_jobs("auto")

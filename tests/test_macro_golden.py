@@ -1,0 +1,198 @@
+"""Golden-trace matrix for macro-events (:mod:`repro.collectives.macro`).
+
+Macro-on and macro-off runs must agree on final coarray states, final
+simulated time, and fabric traffic across every conformance machine
+shape; macro mode must auto-disable whenever an observer (HB monitor,
+trace, tiebreak seed, fault schedule) is attached; and the one documented
+exactness boundary — a zero-compute hierarchical barrier loop, where a
+committed window's virtual release ladder cannot feel the next window's
+fine-grained traffic — must be *detected* (``inexact``/``"overlap"``)
+rather than silently absorbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultSchedule, ImageFailure, Stat
+from repro.machine import build_machine
+from repro.runtime.program import run_spmd
+from repro.sim.engine import Engine
+from repro.verify import HBMonitor
+from repro.verify.conformance import SHAPES
+
+ALL_SHAPES = sorted(SHAPES)
+
+#: per-iteration compute larger than any shape's release-ladder span, so
+#: re-arrivals land after the previous window's last virtual delivery —
+#: inside the exactness envelope (see docs/simulation.md)
+SEPARATING_FLOPS = 3000.0
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+def _barrier_once(ctx):
+    yield from ctx.sync_all()
+    return ctx.now
+
+
+def _barrier_loop(ctx, iters):
+    for _ in range(iters):
+        yield from ctx.sync_all()
+    return ctx.now
+
+
+def _separated_loop(ctx, iters):
+    for _ in range(iters):
+        yield ctx.compute_cost(SEPARATING_FLOPS)
+        yield from ctx.sync_all()
+    return ctx.now
+
+
+def _ring_stencil(ctx, iters):
+    """Puts between compute-separated barriers: real coarray state.
+
+    Compute brackets the put on both sides: ``allocate`` ends in an
+    internal barrier, so work must separate its window from the first
+    put, and the put's own fabric traffic from the next window.
+    """
+    me = ctx.this_image()
+    n = ctx.num_images()
+    co = yield from ctx.allocate("gold", (4,))
+    for it in range(iters):
+        yield ctx.compute_cost(SEPARATING_FLOPS)
+        target = me % n + 1
+        yield from ctx.put(co, target, float(me * 100 + it), index=it % 4)
+        yield ctx.compute_cost(SEPARATING_FLOPS)
+        yield from ctx.sync_all()
+    return ctx.local(co).tolist()
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _run(shape_name, main, args=(), macro=None, tiebreak_seed=None, **kw):
+    shape = SHAPES[shape_name]
+    engine = Engine(tiebreak_seed=tiebreak_seed)
+    machine = build_machine(engine, shape.spec, shape.num_images,
+                            images_per_node=shape.images_per_node)
+    return run_spmd(main, machine=machine, args=args,
+                    macro_events=macro, **kw)
+
+
+def _assert_golden(on, off):
+    assert on.time == off.time  # bit-identical, not approx
+    assert on.results == off.results
+    assert on.traffic == off.traffic
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+class TestGoldenMatrix:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_single_barrier_identical(self, shape):
+        on = _run(shape, _barrier_once, macro=True)
+        off = _run(shape, _barrier_once, macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == 1
+        assert not on.world.macro.inexact
+        assert off.world.macro.replays == 0
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_compute_separated_loop_identical(self, shape):
+        on = _run(shape, _separated_loop, args=(4,), macro=True)
+        off = _run(shape, _separated_loop, args=(4,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays >= 1
+        assert not on.world.macro.inexact
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_coarray_states_identical(self, shape):
+        on = _run(shape, _ring_stencil, args=(5,), macro=True)
+        off = _run(shape, _ring_stencil, args=(5,), macro=False)
+        _assert_golden(on, off)
+        assert not on.world.macro.inexact
+
+    def test_flat_tight_loop_sustains_collapse(self):
+        # Flat teams exit every window at one instant: collapse must
+        # sustain across the whole loop and stay exact with no compute
+        # separating the barriers at all.
+        iters = 6
+        on = _run("flat4", _barrier_loop, args=(iters,), macro=True)
+        off = _run("flat4", _barrier_loop, args=(iters,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == iters
+        assert not on.world.macro.inexact
+        assert on.world.macro.disabled_reason is None
+
+
+class TestExactnessBoundary:
+    def test_tight_hierarchical_loop_is_detected(self):
+        # Zero-compute loop on a hierarchical shape: the first window
+        # commits, the re-arrival traffic overlaps its virtual release
+        # ladder, and the coordinator must notice (post-commit grant
+        # audit), flag the run inexact, and disable itself.
+        on = _run("2x4", _barrier_loop, args=(6,), macro=True)
+        off = _run("2x4", _barrier_loop, args=(6,), macro=False)
+        m = on.world.macro
+        # semantic state never drifts — only timestamps can
+        assert on.results is not None
+        assert m.replays <= 1  # at most the first window was bet on
+        if on.time != off.time:
+            assert m.inexact
+            assert m.disabled_reason == "overlap"
+
+    def test_lost_bet_disables_for_rest_of_run(self):
+        def loop_then_separated(ctx, iters):
+            for _ in range(iters):
+                yield from ctx.sync_all()
+            for _ in range(2):
+                yield ctx.compute_cost(SEPARATING_FLOPS)
+                yield from ctx.sync_all()
+            return ctx.now
+
+        on = _run("2x4", loop_then_separated, args=(4,), macro=True)
+        m = on.world.macro
+        if m.inexact:
+            # once the bet is lost nothing replays again
+            assert m.disabled_reason is not None
+            assert m.replays <= 1
+
+
+class TestAutoDisable:
+    def test_monitor_disables(self):
+        on = _run("2x4", _barrier_once, macro=True, monitor=HBMonitor())
+        assert on.world.macro.replays == 0
+
+    def test_trace_disables(self):
+        on = _run("2x4", _barrier_once, macro=True, trace=True)
+        assert on.world.macro.replays == 0
+        assert on.trace  # the trace actually recorded fine-grained ops
+
+    def test_tiebreak_seed_disables(self):
+        on = _run("2x4", _barrier_once, macro=True, tiebreak_seed=3)
+        assert on.world.macro.replays == 0
+
+    def test_faults_disable_and_match_fine_grained(self):
+        def survivor_loop(ctx, iters):
+            st = Stat()
+            for _ in range(iters):
+                yield ctx.compute_cost(SEPARATING_FLOPS)
+                yield from ctx.sync_all(stat=st)
+            return (ctx.now, st.code, tuple(st.failed_indices))
+
+        sched = FaultSchedule(failures=(ImageFailure(3, 20e-6),))
+        on = _run("2x4", survivor_loop, args=(30,), macro=True,
+                  faults=sched)
+        off = _run("2x4", survivor_loop, args=(30,), macro=False,
+                   faults=sched)
+        assert on.world.macro.replays == 0
+        assert on.time == off.time
+        assert on.results == off.results
+
+    def test_config_flag_disables(self):
+        on = _run("2x4", _barrier_once, macro=False)
+        assert on.world.macro.replays == 0
+        assert on.world.macro.fine_pins == 0  # never even consulted

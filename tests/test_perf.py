@@ -7,7 +7,9 @@ import json
 import pytest
 
 from repro.perf import (
+    bench_burst,
     bench_engine_dispatch,
+    bench_macro_barrier,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -76,6 +78,7 @@ class TestMicrobenchmarks:
     @pytest.mark.parametrize("bench, kwargs", [
         (bench_trampoline, dict(events=2_000, chains=4)),
         (bench_engine_dispatch, dict(procs=4, events_per_proc=100)),
+        (bench_burst, dict(procs=4, events_per_proc=100)),
         (bench_sync_kernel, dict(pairs=2, rounds=50)),
     ])
     def test_same_workload_same_event_count_on_both_kernels(self, bench, kwargs):
@@ -100,6 +103,13 @@ class TestMicrobenchmarks:
                                     repeats=1)
         assert res.events == 3 * 11
 
+    def test_macro_barrier_collapses_events_with_identical_time(self):
+        entry = bench_macro_barrier(iters=4, num_images=32, repeats=1)
+        assert entry["identical_final_time"]
+        assert entry["sim_time_macro_s"] == entry["sim_time_fine_s"] > 0
+        assert entry["events_macro"] < entry["events_fine"]
+        assert entry["event_ratio"] > 5
+
 
 class TestPerfCli:
     @pytest.fixture()
@@ -108,9 +118,11 @@ class TestPerfCli:
         monkeypatch.setitem(cli.SIZES, "smoke", {
             "trampoline": dict(events=1_000, chains=4, repeats=1),
             "engine_dispatch": dict(procs=4, events_per_proc=100, repeats=1),
+            "burst": dict(procs=4, events_per_proc=100, repeats=1),
             "sync_kernel": dict(pairs=2, rounds=20, repeats=1),
             "tdlb_barrier": dict(iters=3, num_images=8, images_per_node=4,
                                  repeats=1),
+            "macro_barrier": dict(iters=2, num_images=16, repeats=1),
         })
         return cli
 
@@ -121,12 +133,14 @@ class TestPerfCli:
         assert payload["schema"] == "repro.perf/bench_sim_kernel/v1"
         assert payload["mode"] == "smoke"
         assert set(payload["benchmarks"]) == {
-            "trampoline", "engine_dispatch", "sync_kernel",
-            "tdlb_barrier", "tdlb_barrier_stats",
+            "trampoline", "engine_dispatch", "burst", "sync_kernel",
+            "tdlb_barrier", "tdlb_barrier_stats", "macro_barrier",
         }
         head = payload["headline"]
         assert head["engine_events_per_sec"] > 0
         assert head["speedup_vs_legacy"] > 0
+        assert head["macro_identical_final_time"] is True
+        assert head["macro_event_ratio"] > 1
         assert "engine microbenchmark" in capsys.readouterr().out
 
     def test_baseline_gate_passes_and_fails(self, tiny_sizes, tmp_path):

@@ -1,0 +1,177 @@
+"""Lean-record vs tiebreak-record engine equivalence.
+
+``Engine.__init__`` documents that event records are lean 3-tuples
+``(key, fn, label)`` on the default path and 5-tuples
+``(priority, jitter, seq, fn, label)`` under a ``tiebreak_seed`` — and
+asserts that with the jitter pinned at 0.0 the 5-tuple orders exactly as
+the 3-tuple's merged key, so the lean record cannot reorder anything.
+This module is the proof the comment promises: identical workloads on
+both paths must produce byte-identical event traces.
+
+The jitter is pinned by swapping the engine's tiebreak RNG for one whose
+``random()`` is constantly ``0.0`` and re-binding the schedule closures
+(they capture the RNG at bind time).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.machine import build_machine, paper_cluster
+from repro.runtime.program import run_spmd
+from repro.sim import Cell, Process, Timeout, WaitFor
+from repro.sim.engine import Engine
+
+
+class ZeroRandom(random.Random):
+    """An RNG whose jitter stream is identically zero."""
+
+    def random(self) -> float:  # noqa: D102
+        return 0.0
+
+
+def _tiebreak_engine(trace) -> Engine:
+    """An engine on the 5-tuple record path with jitter pinned to 0.0."""
+    engine = Engine(trace=trace, tiebreak_seed=12345)
+    engine._tiebreak_rng = ZeroRandom()
+    engine._bind_schedule()  # closures capture the RNG; rebind with the pin
+    return engine
+
+
+def _paired_engines():
+    """(lean engine, pinned tiebreak engine, lean trace, tiebreak trace)."""
+    lean_trace: list = []
+    tb_trace: list = []
+    lean = Engine(trace=lambda t, lbl: lean_trace.append((t, lbl)))
+    tb = _tiebreak_engine(lambda t, lbl: tb_trace.append((t, lbl)))
+    return lean, tb, lean_trace, tb_trace
+
+
+def _assert_byte_identical(lean_trace, tb_trace):
+    assert lean_trace, "workload produced no labeled events"
+    assert lean_trace == tb_trace
+    # byte-identical, not merely ==: same float bit patterns, same text
+    assert repr(lean_trace) == repr(tb_trace)
+
+
+class TestScheduleEquivalence:
+    def test_same_slot_priority_and_insertion_order(self):
+        # Events colliding on one timestamp with mixed priorities: the
+        # pinned 5-tuple must fall back to (priority, seq) exactly like
+        # the lean merged key.
+        def load(engine):
+            for i in range(40):
+                engine.schedule(1e-6, lambda: None,
+                                priority=(3 - i % 4), label=f"p{3 - i % 4}.{i}")
+            for i in range(10):
+                engine.call_now(lambda: None, label=f"now.{i}")
+                engine.schedule_at(2e-6, lambda: None, priority=i % 2,
+                                   label=f"at.{i}")
+            engine.run()
+
+        lean, tb, lean_trace, tb_trace = _paired_engines()
+        load(lean)
+        load(tb)
+        _assert_byte_identical(lean_trace, tb_trace)
+
+    def test_cascading_reschedules(self):
+        # Events that schedule more events from inside the run loop, with
+        # same-instant fan-out (the batched-drain shape).  Default
+        # priority only: the engine module doc explicitly scopes the
+        # fast-path same-instant refinement to priority-0 events when
+        # scheduling from inside a same-instant callback.
+        def load(engine):
+            def fan(depth):
+                if depth == 0:
+                    return
+                for k in range(3):
+                    engine.schedule(k * 1e-9, lambda d=depth - 1: fan(d),
+                                    label=f"fan{depth}.{k}")
+
+            engine.schedule(0.0, lambda: fan(4), label="root")
+            engine.run()
+
+        lean, tb, lean_trace, tb_trace = _paired_engines()
+        load(lean)
+        load(tb)
+        _assert_byte_identical(lean_trace, tb_trace)
+
+    def test_process_timeout_and_waitfor_workload(self):
+        # The sync_kernel shape: generator processes, Cell watchers,
+        # zero-delay wake trampolines.
+        def load(engine):
+            cells = [Cell(engine, name=f"c{i}") for i in range(4)]
+
+            def left(ping, pong, rounds=30):
+                for r in range(1, rounds + 1):
+                    ping.add(1)
+                    yield WaitFor(pong, lambda v, r=r: v >= r)
+                    yield Timeout(1e-9)
+
+            def right(ping, pong, rounds=30):
+                for r in range(1, rounds + 1):
+                    yield WaitFor(ping, lambda v, r=r: v >= r)
+                    yield Timeout(1e-9)
+                    pong.add(1)
+
+            for p in range(2):
+                Process(engine, left(cells[2 * p], cells[2 * p + 1]),
+                        name=f"left{p}")
+                Process(engine, right(cells[2 * p], cells[2 * p + 1]),
+                        name=f"right{p}")
+            engine.run()
+
+        lean, tb, lean_trace, tb_trace = _paired_engines()
+        load(lean)
+        load(tb)
+        _assert_byte_identical(lean_trace, tb_trace)
+        lean_now, tb_now = lean.now, tb.now
+        assert lean_now == tb_now
+
+    def test_full_runtime_barrier_sweep(self):
+        # End to end through run_spmd: a hierarchical TDLB sweep must
+        # give identical traces and final time on both record paths.
+        def main(ctx, iters):
+            for _ in range(iters):
+                yield from ctx.sync_all()
+
+        def load(engine):
+            machine = build_machine(engine, paper_cluster(2), 8,
+                                    images_per_node=4)
+            result = run_spmd(main, machine=machine, args=(3,))
+            return result.time
+
+        lean, tb, lean_trace, tb_trace = _paired_engines()
+        t_lean = load(lean)
+        t_tb = load(tb)
+        _assert_byte_identical(lean_trace, tb_trace)
+        assert t_lean == t_tb > 0
+
+    def test_record_shapes_actually_differ(self):
+        # Guard the premise: the two paths must really use different
+        # record tuples, or this module tests nothing.
+        lean, tb, _, _ = _paired_engines()
+        lean.schedule(1e-6, lambda: None, label="x")
+        tb.schedule(1e-6, lambda: None, label="x")
+        (lean_rec,) = lean._buckets[1e-6]
+        (tb_rec,) = tb._buckets[1e-6]
+        assert len(lean_rec) == 3
+        assert len(tb_rec) == 5
+        assert tb_rec[1] == 0.0  # the pin
+
+    def test_unpinned_seed_can_reorder(self):
+        # And the converse: with a real seed the jitter may legally
+        # permute same-slot events — the fuzzing behavior repro.verify
+        # relies on.  (Deterministic given the seed; just not insertion
+        # order for this one.)
+        order: list = []
+        engine = Engine(trace=lambda t, lbl: order.append(lbl),
+                        tiebreak_seed=7)
+        for i in range(20):
+            engine.schedule(1e-6, lambda: None, label=f"e{i}")
+        engine.run()
+        assert sorted(order) == sorted(f"e{i}" for i in range(20))
+        if order == [f"e{i}" for i in range(20)]:  # pragma: no cover
+            pytest.skip("seed 7 happened to preserve insertion order")
