@@ -29,9 +29,15 @@ class Series:
     #: cells whose measurement raised, label → reason (rendered ``FAIL``;
     #: the rest of the sweep is unaffected)
     failures: Dict[str, str] = field(default_factory=dict)
+    #: non-numeric cells (verdicts like ``exact``/``skipped``, or counts
+    #: preformatted with separators); take precedence over ``values``
+    texts: Dict[str, str] = field(default_factory=dict)
 
     def add(self, label: str, value: float) -> None:
         self.values[label] = value
+
+    def add_text(self, label: str, text: str) -> None:
+        self.texts[label] = text
 
     def mark_failed(self, label: str, reason: str) -> None:
         self.failures[label] = reason
@@ -79,7 +85,9 @@ class ResultTable:
             row = s.name.ljust(name_width)
             for lbl in self.labels:
                 val = s.values.get(lbl)
-                if val is not None:
+                if lbl in s.texts:
+                    row += s.texts[lbl].rjust(col_width)
+                elif val is not None:
                     row += f"{val:{col_width}.2f}"
                 elif lbl in s.failures:
                     row += "FAIL".rjust(col_width)

@@ -100,6 +100,13 @@ def bcast_two_level(
     me = view.index
     if n == 1:
         return _freeze(value)
+    macro = getattr(ctx, "macro", None)
+    if macro is not None and macro.engages_data(view):
+        replayed = yield from macro.join(
+            ctx, view, "bcast-2l", tag, payload=value, source=source_image
+        )
+        if replayed:
+            return replayed.value
     h = view.shared.hierarchy
     my_leader = h.leader_of[me]
     source_leader = h.leader_of[source_image]

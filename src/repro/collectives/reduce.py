@@ -285,6 +285,19 @@ def allreduce_recursive_doubling(
     """Flat recursive-doubling allreduce over the whole team."""
     _combine(op, value, value)
     tag = view.next_op_tag("red-rd")
+    macro = getattr(ctx, "macro", None)
+    if (
+        macro is not None
+        and result_image is None
+        and not callable(op)
+        and op in REDUCE_OPS
+        and macro.engages_data(view)
+    ):
+        replayed = yield from macro.join(
+            ctx, view, "reduce-rd", tag, payload=value, op=op
+        )
+        if replayed:
+            return replayed.value
     participants = list(range(1, view.size + 1))
     acc = yield from _recursive_doubling(
         ctx, view, participants, value, op, tag, path=path
@@ -315,6 +328,19 @@ def allreduce_two_level(
     n = view.size
     if n == 1:
         return _freeze(value)
+    macro = getattr(ctx, "macro", None)
+    if (
+        macro is not None
+        and result_image is None
+        and not callable(op)
+        and op in REDUCE_OPS
+        and macro.engages_data(view)
+    ):
+        replayed = yield from macro.join(
+            ctx, view, "reduce-2l", tag, payload=value, op=op
+        )
+        if replayed:
+            return replayed.value
     h = view.shared.hierarchy
     me = view.index
     leader = h.leader_of[me]

@@ -38,7 +38,26 @@ from .reduce import (
 )
 
 __all__ = ["BARRIERS", "REDUCTIONS", "BROADCASTS", "ALLGATHERS",
-           "ALLTOALLS", "resolve"]
+           "ALLTOALLS", "MACRO_CAPABLE", "macro_kind", "resolve"]
+
+#: strategies the macro-event coordinator can collapse, mapped to the
+#: window kind they join with (:data:`repro.collectives.macro.REPLAYABLE`).
+#: Benchmarks and the extreme-scale sweep consult this to assert that a
+#: configured strategy actually macro-izes before betting a 100k-image
+#: run on it.
+MACRO_CAPABLE = {
+    ("barrier", "tdlb"): "tdlb",
+    ("barrier", "linear"): "linear",
+    ("reduce", "two-level"): "reduce-2l",
+    ("reduce", "recursive-doubling"): "reduce-rd",
+    ("broadcast", "two-level"): "bcast-2l",
+}
+
+
+def macro_kind(kind: str, name: str):
+    """The macro window kind strategy ``name`` joins with, or None when
+    the strategy always runs fine-grained."""
+    return MACRO_CAPABLE.get((kind, name))
 
 BARRIERS = {
     "dissemination": barrier_dissemination,

@@ -27,6 +27,14 @@ long-lived ``multiprocessing`` workers and guarantees:
 * **Graceful degradation** — with ``jobs<=1``, with unpicklable tasks,
   or when process spawning is unavailable (restricted sandboxes), work
   runs inline in the parent with identical semantics.
+* **Cold-path economics** — on an *auto* jobs request (``-j auto``,
+  ``REPRO_JOBS=auto``, ``jobs<=0``), :func:`run_tasks` refuses to spawn
+  a pool that cannot win: one available core (workers would time-slice
+  it — BENCH_HARNESS.json measured pooled 0.87x sequential on the 1-CPU
+  CI runner) or fewer pending cells than the spawn-amortization
+  threshold both run inline instead.  An explicit ``-j N`` is honored
+  as stated — the caller measured their machine; ordering and results
+  are identical either way.
 
 :func:`run_tasks` is the one-call façade used by the verify/bench/
 calibration harnesses; it layers the content-keyed
@@ -48,7 +56,7 @@ from .cache import ResultCache
 from .task import PICKLE_PROTOCOL, TaskResult, TaskSpec
 
 __all__ = ["WorkerPool", "run_tasks", "resolve_jobs", "auto_jobs",
-           "effective_cpu_count"]
+           "effective_cpu_count", "SPAWN_AMORTIZATION_MIN"]
 
 #: environment variable consulted when a harness passes ``jobs=None``
 JOBS_ENV = "REPRO_JOBS"
@@ -63,6 +71,12 @@ _TICK = 0.05
 #: have lost a chunk (a worker hard-exited before its queue feeder
 #: flushed the pick/start messages) and requeues the orphans
 _STALL_S = 1.0
+
+#: minimum pending cells for :func:`run_tasks` to spawn a pool at all:
+#: worker spawn + pickling costs ~0.5 s, and a sub-10ms simulation cell
+#: pays that back only across a grid — a couple of cells finish inline
+#: before the first worker is even up
+SPAWN_AMORTIZATION_MIN = 4
 
 
 def effective_cpu_count() -> int:
@@ -113,6 +127,22 @@ def resolve_jobs(jobs) -> int:
     if jobs <= 0:
         return auto_jobs()
     return min(int(jobs), MAX_JOBS)
+
+
+def _is_auto_request(jobs) -> bool:
+    """True when the jobs request delegates the worker count to us
+    (``"auto"``, 0/negative, or unset with ``REPRO_JOBS=auto``) rather
+    than naming an explicit count."""
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV, "").strip() or 1
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return True
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            return False
+    return jobs <= 0
 
 
 # ----------------------------------------------------------------------
@@ -580,10 +610,21 @@ def run_tasks(
         misses.append(index)
 
     # A fully-warm cache never pays pool startup: only spawn workers
-    # when there is something to execute.
+    # when there is something to execute — and, on an auto request, only
+    # when the fan-out can win.  One available core means workers
+    # time-slice it; fewer misses than the amortization threshold never
+    # pay back worker spawn.  An explicit -j N is honored as stated.
+    # Either way the tasks run inline with identical ordering/results.
     own_pool: Optional[WorkerPool] = None
     if misses and pool is None:
-        pool = own_pool = WorkerPool(jobs, chunk_size=chunk_size,
+        jobs_n = resolve_jobs(jobs)
+        if jobs_n > 1 and _is_auto_request(jobs):
+            if (effective_cpu_count() == 1
+                    or len(misses) < SPAWN_AMORTIZATION_MIN):
+                jobs_n = 1
+            else:
+                jobs_n = min(jobs_n, len(misses))
+        pool = own_pool = WorkerPool(jobs_n, chunk_size=chunk_size,
                                      task_timeout=task_timeout,
                                      retries=retries)
     try:

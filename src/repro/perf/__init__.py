@@ -21,6 +21,8 @@ from .bench import (
     bench_burst,
     bench_engine_dispatch,
     bench_macro_barrier,
+    bench_macro_bcast,
+    bench_macro_reduce,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -30,5 +32,6 @@ from .stats import EngineStats, run_with_stats
 __all__ = [
     "BenchResult", "EngineStats", "run_with_stats",
     "bench_burst", "bench_engine_dispatch", "bench_macro_barrier",
+    "bench_macro_bcast", "bench_macro_reduce",
     "bench_sync_kernel", "bench_tdlb_barrier", "bench_trampoline",
 ]

@@ -34,6 +34,8 @@ from .bench import (
     bench_burst,
     bench_engine_dispatch,
     bench_macro_barrier,
+    bench_macro_bcast,
+    bench_macro_reduce,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -52,6 +54,8 @@ SIZES = {
         "sync_kernel": dict(pairs=8, rounds=4_000, repeats=4),
         "tdlb_barrier": dict(iters=400, num_images=16, images_per_node=8, repeats=3),
         "macro_barrier": dict(iters=10, num_images=1024, repeats=1),
+        "macro_reduce": dict(iters=5, num_images=2048, repeats=1),
+        "macro_bcast": dict(iters=1, num_images=4096, repeats=1),
     },
     "smoke": {
         "trampoline": dict(events=60_000, chains=8, repeats=2),
@@ -60,6 +64,8 @@ SIZES = {
         "sync_kernel": dict(pairs=4, rounds=1_000, repeats=2),
         "tdlb_barrier": dict(iters=50, num_images=16, images_per_node=8, repeats=2),
         "macro_barrier": dict(iters=5, num_images=256, repeats=1),
+        "macro_reduce": dict(iters=4, num_images=256, repeats=1),
+        "macro_bcast": dict(iters=1, num_images=512, repeats=1),
     },
 }
 
@@ -118,6 +124,8 @@ def run_benchmarks(mode: str) -> dict:
     benchmarks["tdlb_barrier"] = entry
     benchmarks["tdlb_barrier_stats"] = _stats_sample()
     benchmarks["macro_barrier"] = bench_macro_barrier(**sizes["macro_barrier"])
+    benchmarks["macro_reduce"] = bench_macro_reduce(**sizes["macro_reduce"])
+    benchmarks["macro_bcast"] = bench_macro_bcast(**sizes["macro_bcast"])
     return benchmarks
 
 
@@ -144,13 +152,21 @@ def render(payload: dict) -> str:
         f"engine microbenchmark: {head['engine_events_per_sec']:,.0f} events/s, "
         f"{head['speedup_vs_legacy']:.2f}x vs. pre-change kernel",
     ]
-    macro = payload["benchmarks"].get("macro_barrier")
-    if macro:
-        agree = "identical" if macro["identical_final_time"] else "DIVERGENT"
+    for key, label in (("macro_barrier", "barrier"),
+                       ("macro_reduce", "reduce"),
+                       ("macro_bcast", "broadcast")):
+        macro = payload["benchmarks"].get(key)
+        if not macro:
+            continue
+        exact = macro["identical_final_time"]
+        if "identical_results" in macro:
+            exact = exact and macro["identical_results"] \
+                and not macro["inexact"]
+        agree = "exact" if exact else "DIVERGENT"
         lines.append(
-            f"macro-event barrier ({macro['num_images']} images): "
+            f"macro-event {label} ({macro['num_images']} images): "
             f"{macro['events_fine']:,} -> {macro['events_macro']:,} engine "
-            f"events ({macro['event_ratio']:.0f}x fewer), final time {agree}"
+            f"events ({macro['event_ratio']:.0f}x fewer), replay {agree}"
         )
     return "\n".join(lines)
 
@@ -240,6 +256,16 @@ def main(argv=None) -> int:
             "macro_event_ratio": benchmarks["macro_barrier"]["event_ratio"],
             "macro_identical_final_time":
                 benchmarks["macro_barrier"]["identical_final_time"],
+            "macro_reduce_event_ratio":
+                benchmarks["macro_reduce"]["event_ratio"],
+            "macro_reduce_exact":
+                benchmarks["macro_reduce"]["identical_final_time"]
+                and benchmarks["macro_reduce"]["identical_results"]
+                and not benchmarks["macro_reduce"]["inexact"],
+            "macro_bcast_exact":
+                benchmarks["macro_bcast"]["identical_final_time"]
+                and benchmarks["macro_bcast"]["identical_results"]
+                and not benchmarks["macro_bcast"]["inexact"],
         },
     }
 
@@ -252,6 +278,21 @@ def main(argv=None) -> int:
     if not benchmarks["macro_barrier"]["identical_final_time"]:
         print("FAIL: macro-event barrier final time diverges from "
               "fine-grained mode", file=sys.stderr)
+        return 2
+    # The reduce/broadcast windows carry data, so the exactness gate is
+    # stricter: identical final time, bit-identical per-image results,
+    # and the coordinator's own inexact flag must stay clear.
+    for key in ("macro_reduce", "macro_bcast"):
+        entry = benchmarks[key]
+        if (not entry["identical_final_time"]
+                or not entry["identical_results"] or entry["inexact"]):
+            print(f"FAIL: {key} macro replay diverges from fine-grained "
+                  "mode", file=sys.stderr)
+            return 2
+    if benchmarks["macro_reduce"]["replays"] < benchmarks["macro_reduce"]["iters"]:
+        print("FAIL: macro_reduce chained windows pinned fine "
+              f"(replays={benchmarks['macro_reduce']['replays']} < "
+              f"iters={benchmarks['macro_reduce']['iters']})", file=sys.stderr)
         return 2
     if args.baseline:
         with open(args.baseline) as fh:

@@ -35,6 +35,14 @@ Workloads
     ≥ 1k-image team, macro-events on vs off, on the current kernel.
     Reports the engine-event ratio and checks the final simulated times
     agree — the exactness contract, measured rather than assumed.
+``macro_reduce`` / ``macro_bcast``
+    The same A/B for the reduction and broadcast macro-windows: a tight
+    ``co_sum`` loop on a flat team (sustained chained collapse — every
+    window replayed from the first analysis) and a single isolated
+    ``co_broadcast`` window.  Both check final time *and* per-image
+    results bit-identical, and surface the macro coordinator's own
+    counters (replays, inexact flag, disable reason) so the gate can
+    fail loudly instead of silently pinning fine.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ __all__ = [
     "BenchResult", "KERNELS",
     "bench_trampoline", "bench_engine_dispatch", "bench_burst",
     "bench_sync_kernel", "bench_tdlb_barrier", "bench_macro_barrier",
+    "bench_macro_reduce", "bench_macro_bcast",
 ]
 
 #: The two kernels every microbenchmark can run against.
@@ -297,3 +306,104 @@ def bench_macro_barrier(
         if not best or entry["wall_macro_s"] < best["wall_macro_s"]:
             best = entry
     return best
+
+
+# ----------------------------------------------------------------------
+def _reduce_main(ctx: Any, iters: int) -> Any:
+    acc = float(ctx.this_image())
+    for _ in range(iters):
+        acc = yield from ctx.co_sum(acc * 0.5)
+    return acc
+
+
+def _bcast_main(ctx: Any, iters: int) -> Any:
+    # One broadcast window per run (iters defaults to 1): a broadcast
+    # window only collapses when it opens on a fully quiet engine —
+    # its staggered deliveries mean later members of a *chained* window
+    # would be parked past their true exits, so the coordinator pins
+    # follow-on windows fine by design.  The collapsible shape is the
+    # isolated window, and that is what this bench measures.
+    me = ctx.this_image()
+    out = 0.0
+    for _ in range(iters):
+        out = yield from ctx.co_broadcast(out + me, source_image=1)
+    return out
+
+
+def _bench_macro_collective(
+    main: Callable[..., Any], iters: int, num_images: int, repeats: int,
+) -> dict:
+    """Shared macro on/off A/B for a collective sweep on a flat team.
+
+    Same shape as :func:`bench_macro_barrier`, with two additions the
+    data-carrying collectives need: the per-image *results* must also be
+    bit-identical (a barrier carries no data; a reduce or broadcast
+    does), and the macro coordinator's own counters ride along so a run
+    that silently pinned fine (ratio ≈ 1, replays = 0) is visible in the
+    recorded entry rather than just as a slow wall time.
+    """
+
+    def once(macro: bool) -> Tuple[int, float, Any]:
+        engine = _CurrentEngine()
+        machine = build_machine(
+            engine, paper_cluster(num_images), num_images, images_per_node=1,
+        )
+        t0 = perf_counter()
+        result = run_spmd(main, machine=machine, args=(iters,),
+                          macro_events=macro)
+        wall = perf_counter() - t0
+        return engine.events_processed, wall, result
+
+    best: dict = {}
+    for _ in range(max(1, repeats)):
+        ev_fine, wall_fine, r_fine = once(macro=False)
+        ev_macro, wall_macro, r_macro = once(macro=True)
+        macro_stats = r_macro.world.macro
+        entry = {
+            "num_images": num_images,
+            "iters": iters,
+            "events_fine": ev_fine,
+            "events_macro": ev_macro,
+            "event_ratio": round(ev_fine / ev_macro, 1) if ev_macro else 0.0,
+            "wall_fine_s": round(wall_fine, 6),
+            "wall_macro_s": round(wall_macro, 6),
+            "sim_time_fine_s": r_fine.time,
+            "sim_time_macro_s": r_macro.time,
+            "identical_final_time": r_fine.time == r_macro.time,
+            "identical_results": r_fine.results == r_macro.results,
+            "replays": macro_stats.replays,
+            "inexact": macro_stats.inexact,
+            "disabled_reason": macro_stats.disabled_reason,
+        }
+        if not best or entry["wall_macro_s"] < best["wall_macro_s"]:
+            best = entry
+    return best
+
+
+def bench_macro_reduce(
+    iters: int = 5, num_images: int = 2048, repeats: int = 1,
+) -> dict:
+    """Macro-event A/B: tight ``co_sum`` sweep on a flat team.
+
+    Back-to-back reductions with no separating compute are the chained-
+    window case: each two-level fold/unfold window butts against the
+    next, and the coordinator must collapse the whole chain from one
+    analysis per window (``replays == iters``) while staying bit-exact
+    on final time, per-image results, and traffic ledger.  This is the
+    extreme-scale acceptance scenario scaled to a bench-friendly team.
+    """
+    return _bench_macro_collective(_reduce_main, iters, num_images, repeats)
+
+
+def bench_macro_bcast(
+    iters: int = 1, num_images: int = 4096, repeats: int = 1,
+) -> dict:
+    """Macro-event A/B: a single ``co_broadcast`` window on a flat team.
+
+    The window is a two-level root→leaders→locals tree collapsed to one
+    analytically-costed wake schedule.  The event ratio is bounded by
+    the arrival floor — every member's registration is still one engine
+    event — so expect ~4x here rather than the barrier/reduce orders of
+    magnitude; the gate is about exactness, not the ratio.
+    """
+    return _bench_macro_collective(_bcast_main, iters, num_images, repeats)

@@ -65,7 +65,7 @@ class Conduit:
         ]
         #: lifetime message counters by path, for the accounting experiments
         self.counts = {"remote": 0, "loopback": 0, "direct": 0}
-        #: back-reference to :class:`repro.collectives.macro.MacroBarriers`
+        #: back-reference to :class:`repro.collectives.macro.MacroCollectives`
         #: (set by the World that owns this conduit); None when the run has
         #: no macro-event coordinator
         self.macro = None

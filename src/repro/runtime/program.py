@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..calibration import ConduitProfile
-from ..collectives.macro import MacroBarriers
+from ..collectives.macro import MacroCollectives
 from ..collectives.reduce import REDUCE_OPS
 from ..collectives.registry import resolve
 from ..faults.manager import (
@@ -103,7 +103,7 @@ class World:
         #: :mod:`repro.collectives.macro`); it self-disables whenever a
         #: monitor/trace/tiebreak/fault observer is attached, so it is
         #: always constructed
-        self.macro = MacroBarriers(self)
+        self.macro = MacroCollectives(self)
         self.conduit.macro = self.macro
         self.initial_shared = TeamShared(
             engine=self.engine,
@@ -192,7 +192,7 @@ class CafContext:
         return self.world.faults
 
     @property
-    def macro(self) -> MacroBarriers:
+    def macro(self) -> MacroCollectives:
         """The run's macro-event coordinator (duck-typed: barrier
         wrappers probe ``getattr(ctx, "macro", None)``, so test contexts
         without one simply stay fine-grained)."""

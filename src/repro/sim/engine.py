@@ -24,15 +24,26 @@ byte-identical to the historical behaviour.
 Event storage (batched execution)
 ---------------------------------
 Events live in per-instant *buckets*: ``_buckets`` maps a timestamp to
-the sorted list of records due at that instant, and ``_times`` is a
-min-heap over the timestamps only.  Simulated workloads are bursty — a
-barrier round puts whole waves of images at the same instant — so the
-run loop pays one ``heappop`` per *instant* instead of one per *event*
-and drains each bucket with O(1) list pops.  Scheduling into an instant
-that already has a bucket is a list append (amortized O(1): sequence
-numbers only grow, so new records usually belong at the tail) instead of
-an O(log n) ``heappush``.  The heap may hold a stale timestamp after its
-bucket drains through ``step()``; ``_peek_time`` discards those lazily.
+the records due at that instant, and ``_times`` is a min-heap over the
+timestamps only.  Simulated workloads are bursty — a barrier round puts
+whole waves of images at the same instant — so the run loop pays one
+``heappop`` per *instant* instead of one per *event* and drains each
+bucket with O(1) list pops.  Scheduling into an instant that already has
+a bucket is a list append (amortized O(1): sequence numbers only grow,
+so new records usually belong at the tail) instead of an O(log n)
+``heappush``.  The heap may hold a stale timestamp after its bucket
+drains through ``step()``; ``_peek_time`` discards those lazily.
+
+A bucket holding a *single* record is stored as the bare record tuple
+rather than a one-element list (default path only; the jittered path
+always uses lists).  Timer-trampoline workloads — self-rescheduling
+callback chains with per-chain periods — hit a distinct instant per
+event, and the bare-tuple form spares them a list allocation on every
+insert plus an indirection on every drain, which is what keeps the
+bucket design no slower than the flat tuple-heap kernel it replaced on
+that shape.  Every consumer distinguishes the two forms with one
+``__class__ is list`` check; the record itself is a tuple, so the forms
+cannot be confused.
 
 One deliberately documented fast-path refinement: while ``run()`` drains
 the bucket at instant ``t``, an event scheduled *at* ``t`` lands in a
@@ -121,7 +132,7 @@ class Engine:
         "_times", "_buckets", "_seq_counter", "_now", "_max_events",
         "_events_processed", "_trace", "_tiebreak_seed", "_tiebreak_rng",
         "monitor", "_blocked", "_blocked_info", "_blocked_seq", "_running",
-        "_drain_hooks", "schedule", "call_now", "schedule_at",
+        "_drain_hooks", "_deferred", "schedule", "call_now", "schedule_at",
     )
 
     def __init__(
@@ -139,7 +150,18 @@ class Engine:
         # 3-tuple's merged key — so the lean record cannot reorder
         # anything (tests/test_sim_engine_equivalence.py proves it).
         self._times: list[float] = []
-        self._buckets: dict[float, list[tuple]] = {}
+        # timestamp -> list of records, or a bare record when only one
+        # is pending at that instant (see the module doc)
+        self._buckets: dict[float, Any] = {}
+        # Deferred heap push (lean path only): when a *fresh* instant is
+        # scheduled and this slot is free, its timestamp parks here
+        # instead of being pushed; the fast loop consumes it with one
+        # ``heappushpop`` — a self-rescheduling chain (the timer
+        # trampoline) then pays a single combined sift per event, and
+        # when the deferred time is the queue minimum the heap is not
+        # touched at all.  ``-1.0`` means empty; every consumer outside
+        # the fast loop flushes it first (see ``_peek_time``).
+        self._deferred = -1.0
         # One shared C-level counter so the schedule closures *and* the
         # inlined resume lane in ``_run_fast`` mint sequence numbers from
         # the same stream.
@@ -189,22 +211,22 @@ class Engine:
         times = self._times
         buckets = self._buckets
         bucket_get = buckets.get
+        setdef = buckets.setdefault
         push = heapq.heappush
         rng = self._tiebreak_rng
         nextseq = self._seq_counter.__next__
+        ins = insort
+        stride = _PRIORITY_STRIDE
 
         if rng is None:
-
-            def _insert(time: float, key: int, fn, label: str) -> None:
-                rec = (key, fn, label)
-                b = bucket_get(time)
-                if b is None:
-                    buckets[time] = [rec]
-                    push(times, time)
-                elif key > b[-1][0]:
-                    b.append(rec)
-                else:
-                    insort(b, rec)
+            # The insert sequence is spelled out in each closure rather
+            # than shared through a helper: scheduling is the per-event
+            # hot path, and the extra frame a shared ``_insert`` costs is
+            # measurable on timer-trampoline workloads (self-rescheduling
+            # chains where every event schedules exactly one more).
+            # ``setdefault`` probes and stores in one hash traversal —
+            # on the dominant miss path (a fresh instant) that is one
+            # dict operation, not a ``get`` followed by a ``__setitem__``.
 
             def schedule(
                 delay: float,
@@ -222,17 +244,41 @@ class Engine:
                     raise ValueError(
                         f"delay must be finite and >= 0, got {delay!r}"
                     )
-                seq = nextseq()
-                _insert(
-                    time,
-                    priority * _PRIORITY_STRIDE + seq if priority else seq,
-                    fn,
-                    label,
-                )
+                key = nextseq()
+                if priority:
+                    key += priority * stride
+                rec = (key, fn, label)
+                b = setdef(time, rec)
+                if b is rec:
+                    # lone record: stored bare, promoted on second insert;
+                    # the heap push parks in the deferred slot when free
+                    if self._deferred < 0.0:
+                        self._deferred = time
+                    else:
+                        push(times, time)
+                elif b.__class__ is not list:
+                    buckets[time] = [b, rec] if b[0] < key else [rec, b]
+                elif key > b[-1][0]:
+                    b.append(rec)
+                else:
+                    ins(b, rec)
 
             def call_now(fn: Callable[[], None], label: str = "") -> None:
-                seq = nextseq()
-                _insert(self._now, seq, fn, label)
+                key = nextseq()
+                rec = (key, fn, label)
+                time = self._now
+                b = setdef(time, rec)
+                if b is rec:
+                    if self._deferred < 0.0:
+                        self._deferred = time
+                    else:
+                        push(times, time)
+                elif b.__class__ is not list:
+                    buckets[time] = [b, rec] if b[0] < key else [rec, b]
+                elif key > b[-1][0]:
+                    b.append(rec)
+                else:
+                    ins(b, rec)
 
             def schedule_at(
                 time: float,
@@ -245,13 +291,22 @@ class Engine:
                         f"schedule_at time must be >= now and finite, "
                         f"got {time!r} (now={self._now!r})"
                     )
-                seq = nextseq()
-                _insert(
-                    time,
-                    priority * _PRIORITY_STRIDE + seq if priority else seq,
-                    fn,
-                    label,
-                )
+                key = nextseq()
+                if priority:
+                    key += priority * stride
+                rec = (key, fn, label)
+                b = setdef(time, rec)
+                if b is rec:
+                    if self._deferred < 0.0:
+                        self._deferred = time
+                    else:
+                        push(times, time)
+                elif b.__class__ is not list:
+                    buckets[time] = [b, rec] if b[0] < key else [rec, b]
+                elif key > b[-1][0]:
+                    b.append(rec)
+                else:
+                    ins(b, rec)
 
         else:
 
@@ -329,13 +384,23 @@ class Engine:
         event callbacks of such runs, after ``run()`` returns); a
         callback running inside a fast-path drain does not see the
         undispatched remainder of the batch it is part of."""
-        return sum(map(len, self._buckets.values()))
+        return sum(
+            len(b) if b.__class__ is list else 1
+            for b in self._buckets.values()
+        )
 
     def _peek_time(self) -> Optional[float]:
         """Earliest pending timestamp, discarding stale heap entries
-        (timestamps whose bucket has already drained)."""
+        (timestamps whose bucket has already drained).  Flushes the
+        deferred-push slot first so the heap view is complete — every
+        path that reads the heap outside ``_run_fast`` goes through
+        here (``step``, ``peek``, the ``run(until=...)`` loop)."""
         times = self._times
         buckets = self._buckets
+        d = self._deferred
+        if d >= 0.0:
+            self._deferred = -1.0
+            heapq.heappush(times, d)
         while times:
             t = times[0]
             if t in buckets:
@@ -349,7 +414,9 @@ class Engine:
         t = self._peek_time()
         if t is None:
             return None
-        return t, self._buckets[t][0][-1]
+        b = self._buckets[t]
+        rec = b[0] if b.__class__ is list else b
+        return t, rec[-1]
 
     # ------------------------------------------------------------------
     # Blocked-process bookkeeping (for deadlock diagnostics)
@@ -442,12 +509,17 @@ class Engine:
             return False
         buckets = self._buckets
         bucket = buckets[t]
-        record = bucket[0]
-        if len(bucket) == 1:
+        if bucket.__class__ is not list:  # bare singleton record
+            record = bucket
             del buckets[t]
             heapq.heappop(self._times)  # _peek_time verified the top is t
         else:
-            del bucket[0]
+            record = bucket[0]
+            if len(bucket) == 1:
+                del buckets[t]
+                heapq.heappop(self._times)
+            else:
+                del bucket[0]
         # The clock never moves backwards; equal times are fine.
         self._now = t
         self._events_processed += 1
@@ -531,13 +603,19 @@ class Engine:
         buckets = self._buckets
         bucket_get = buckets.get
         bucket_pop = buckets.pop
+        setdef = buckets.setdefault
         heappop = heapq.heappop
         heappush = heapq.heappush
+        heappushpop = heapq.heappushpop
         trace = self._trace
         max_events = self._max_events
         nextseq = self._seq_counter.__next__
         proc_cls = _PROCESS_CLASS
         timeout_cls = _TIMEOUT_CLASS
+        # The monitor is attached before ``run()`` and never mid-drain
+        # (the only writer is ``run_spmd``); hoisting the read off the
+        # per-instant path is measurable on singleton-heavy workloads.
+        monitor = self.monitor
         processed = self._events_processed
         # ``_events_processed`` is kept in a local and written back when
         # the loop exits (or an event raises): one store per event saved,
@@ -548,20 +626,74 @@ class Engine:
         batch: Any = None
         record: Any = None
         try:
-            if trace is None:
-                while times:
-                    t = heappop(times)
+            if trace is None and monitor is None:
+                while True:
+                    d = self._deferred
+                    if d >= 0.0:
+                        # one combined sift; when ``d`` is the minimum
+                        # the heap is not touched at all
+                        self._deferred = -1.0
+                        t = heappushpop(times, d)
+                    elif times:
+                        t = heappop(times)
+                    else:
+                        break
                     cur = bucket_pop(t, None)
                     if cur is None:
                         continue  # stale heap entry: bucket already drained
                     self._now = t
+                    if cur.__class__ is not list:
+                        # Bare singleton record — the timer-trampoline
+                        # shape (a chain rescheduling itself to a fresh
+                        # instant every event).  Dispatched with no batch
+                        # bookkeeping; on an exception the event is
+                        # already counted and its bucket gone, so the
+                        # generic restore below has nothing to do.
+                        if processed < max_events:
+                            processed += 1
+                            fn = cur[1]
+                            if fn.__class__ is not proc_cls:
+                                fn()
+                                continue
+                            # -- inlined Process.__call__ (see below) --
+                            if fn._finished:
+                                continue
+                            try:
+                                command = fn._send(None)
+                            except StopIteration as stop:
+                                fn._finished = True
+                                fn.done.trigger(stop.value)
+                                continue
+                            except Exception as exc:  # noqa: BLE001 - wrap model bugs
+                                fn._finished = True
+                                raise ProcessFailure(fn.name, exc) from exc
+                            if command.__class__ is not timeout_cls:
+                                fn._dispatch(command)
+                                continue
+                            t2 = t + command.delay
+                            seq = nextseq()
+                            rec = (seq, fn, fn._timeout_label)
+                            b = setdef(t2, rec)
+                            if b is rec:
+                                if self._deferred < 0.0:
+                                    self._deferred = t2
+                                else:
+                                    heappush(times, t2)
+                            elif b.__class__ is not list:
+                                buckets[t2] = (
+                                    [b, rec] if b[0] < seq else [rec, b]
+                                )
+                            elif seq > b[-1][0]:
+                                b.append(rec)
+                            else:
+                                insort(b, rec)
+                            continue
+                        cur = [cur]  # cold: ceiling — generic path
                     n = len(cur)
-                    monitor = self.monitor
-                    if monitor is not None or processed + n > max_events:
-                        # Cold branch: a monitor brackets every resume
-                        # (Process.__call__ handles it), or the event
-                        # ceiling falls inside this batch — per-event
-                        # checks, generic dispatch.
+                    if processed + n > max_events:
+                        # Cold branch: the event ceiling falls inside
+                        # this batch — per-event checks, generic
+                        # dispatch.
                         batch = cur
                         k = 0
                         for record in batch:
@@ -612,11 +744,18 @@ class Engine:
                             else:
                                 insort(last_b, rec)
                             continue
-                        b = bucket_get(t2)
-                        if b is None:
-                            b = [rec]
+                        b = setdef(t2, rec)
+                        if b is rec:
+                            # stored bare; the cache only tracks lists, so
+                            # leave it pointing at its (still valid) list
+                            if self._deferred < 0.0:
+                                self._deferred = t2
+                            else:
+                                heappush(times, t2)
+                            continue
+                        if b.__class__ is not list:
+                            b = [b, rec] if b[0] < seq else [rec, b]
                             buckets[t2] = b
-                            heappush(times, t2)
                         elif seq > b[-1][0]:
                             b.append(rec)
                         else:
@@ -625,13 +764,60 @@ class Engine:
                         last_b = b
                     processed += n
                     batch = None
-            else:
-                while times:
-                    t = heappop(times)
+            elif trace is None:
+                # A monitor is attached: it brackets every resume
+                # (``Process.__call__`` handles the begin/end hooks), so
+                # every event takes the generic dispatch with per-event
+                # ceiling checks.  Monitored runs are instrumentation
+                # runs — this loop trades speed for exact bookkeeping.
+                while True:
+                    d = self._deferred
+                    if d >= 0.0:
+                        # one combined sift; when ``d`` is the minimum
+                        # the heap is not touched at all
+                        self._deferred = -1.0
+                        t = heappushpop(times, d)
+                    elif times:
+                        t = heappop(times)
+                    else:
+                        break
                     cur = bucket_pop(t, None)
                     if cur is None:
                         continue
                     self._now = t
+                    if cur.__class__ is not list:
+                        cur = [cur]  # bare singleton record
+                    n = len(cur)
+                    batch = cur
+                    k = 0
+                    for record in batch:
+                        if processed + k >= max_events:
+                            raise SimulationLimitExceeded(
+                                f"exceeded max_events={max_events} "
+                                f"at t={t:.9f}s"
+                            )
+                        k += 1
+                        record[-2]()
+                    processed += n
+                    batch = None
+            else:
+                while True:
+                    d = self._deferred
+                    if d >= 0.0:
+                        # one combined sift; when ``d`` is the minimum
+                        # the heap is not touched at all
+                        self._deferred = -1.0
+                        t = heappushpop(times, d)
+                    elif times:
+                        t = heappop(times)
+                    else:
+                        break
+                    cur = bucket_pop(t, None)
+                    if cur is None:
+                        continue
+                    self._now = t
+                    if cur.__class__ is not list:
+                        cur = [cur]  # bare singleton record
                     n = len(cur)
                     batch = cur
                     if processed + n > max_events:
@@ -656,6 +842,14 @@ class Engine:
                     processed += n
                     batch = None
         except BaseException:
+            # Flush the deferred push first: the failing event may have
+            # parked a fresh instant there, and post-mortem inspection
+            # reads the heap directly.  (A duplicate heap entry for ``t``
+            # is harmless — stale entries are discarded lazily.)
+            d = self._deferred
+            if d >= 0.0:
+                self._deferred = -1.0
+                heappush(times, d)
             # Restore the undispatched remainder (plus anything the
             # failing event scheduled back at ``t``) so the queue stays
             # coherent for post-mortem inspection or a resumed run.  The
@@ -670,6 +864,8 @@ class Engine:
                 if remainder:
                     newer = bucket_pop(t, None)
                     if newer is not None:
+                        if newer.__class__ is not list:
+                            newer = [newer]
                         remainder = sorted(remainder + newer)
                     buckets[t] = remainder
                     heappush(times, t)

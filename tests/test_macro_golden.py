@@ -2,20 +2,26 @@
 
 Macro-on and macro-off runs must agree on final coarray states, final
 simulated time, and fabric traffic across every conformance machine
-shape; macro mode must auto-disable whenever an observer (HB monitor,
+shape — for barriers *and* for the data-carrying reduce/broadcast
+windows; macro mode must auto-disable whenever an observer (HB monitor,
 trace, tiebreak seed, fault schedule) is attached; and the one documented
 exactness boundary — a zero-compute hierarchical barrier loop, where a
 committed window's virtual release ladder cannot feel the next window's
 fine-grained traffic — must be *detected* (``inexact``/``"overlap"``)
-rather than silently absorbed.
+rather than silently absorbed.  Flat tight collective loops are the
+chained-window case: every window must collapse from a single analysis
+(the extreme-scale sweep's whole premise), which the sustained-collapse
+tests pin with exact replay counts.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.faults import FaultSchedule, ImageFailure, Stat
-from repro.machine import build_machine
+from repro.machine import build_machine, paper_cluster
+from repro.runtime.config import UHCAF_2LEVEL
 from repro.runtime.program import run_spmd
 from repro.sim.engine import Engine
 from repro.verify import HBMonitor
@@ -27,6 +33,11 @@ ALL_SHAPES = sorted(SHAPES)
 #: re-arrivals land after the previous window's last virtual delivery —
 #: inside the exactness envelope (see docs/simulation.md)
 SEPARATING_FLOPS = 3000.0
+
+#: the data windows (reduce fold/unfold, broadcast tree) span much more
+#: than a barrier's release ladder, so their separated loops need a
+#: proportionally larger compute block between windows
+DATA_SEPARATING_FLOPS = 500000.0
 
 
 # ----------------------------------------------------------------------
@@ -69,6 +80,69 @@ def _ring_stencil(ctx, iters):
     return ctx.local(co).tolist()
 
 
+def _sep_reduce(ctx, iters):
+    me = float(ctx.this_image())
+    acc = me
+    for _ in range(iters):
+        yield ctx.compute_cost(DATA_SEPARATING_FLOPS)
+        acc = yield from ctx.co_sum(acc + me)
+    return acc
+
+
+def _tight_reduce(ctx, iters):
+    acc = float(ctx.this_image())
+    for _ in range(iters):
+        acc = yield from ctx.co_sum(acc * 0.5)
+    return acc
+
+
+def _tight_reduce_arr(ctx, iters):
+    acc = np.arange(4, dtype=float) + ctx.this_image()
+    for _ in range(iters):
+        acc = yield from ctx.co_max(acc)
+        acc = acc - 0.25
+    return acc.tolist()
+
+
+def _sep_bcast(ctx, iters):
+    me = ctx.this_image()
+    out = []
+    for it in range(iters):
+        yield ctx.compute_cost(DATA_SEPARATING_FLOPS)
+        v = yield from ctx.co_broadcast(
+            float(me * 10 + it), source_image=1 + it % ctx.num_images())
+        out.append(v)
+    return out
+
+
+def _tight_bcast(ctx, iters):
+    me = ctx.this_image()
+    out = []
+    for it in range(iters):
+        v = yield from ctx.co_broadcast(float(me + it), source_image=1)
+        out.append(v)
+    return out
+
+
+def _mixed_collectives(ctx, iters):
+    me = ctx.this_image()
+    acc = float(me)
+    for it in range(iters):
+        yield ctx.compute_cost(DATA_SEPARATING_FLOPS)
+        acc = yield from ctx.co_sum(acc)
+        yield ctx.compute_cost(DATA_SEPARATING_FLOPS)
+        acc = yield from ctx.co_broadcast(acc + it, source_image=1)
+    return acc
+
+
+def _tight_mixed_flat(ctx, iters):
+    acc = float(ctx.this_image())
+    for _ in range(iters):
+        acc = yield from ctx.co_sum(acc * 0.5)
+        acc = yield from ctx.co_min(acc + 1.0)
+    return acc
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -77,6 +151,18 @@ def _run(shape_name, main, args=(), macro=None, tiebreak_seed=None, **kw):
     engine = Engine(tiebreak_seed=tiebreak_seed)
     machine = build_machine(engine, shape.spec, shape.num_images,
                             images_per_node=shape.images_per_node)
+    return run_spmd(main, machine=machine, args=args,
+                    macro_events=macro, **kw)
+
+
+def _run_flat(num_images, main, args=(), macro=None, config=None, **kw):
+    """A flat team (one image per node) of any size — the shape where
+    chained windows sustain collapse; not limited to conformance SHAPES."""
+    engine = Engine()
+    machine = build_machine(engine, paper_cluster(num_images), num_images,
+                            images_per_node=1)
+    if config is not None:
+        kw["config"] = config
     return run_spmd(main, machine=machine, args=args,
                     macro_events=macro, **kw)
 
@@ -196,3 +282,150 @@ class TestAutoDisable:
         on = _run("2x4", _barrier_once, macro=False)
         assert on.world.macro.replays == 0
         assert on.world.macro.fine_pins == 0  # never even consulted
+
+    def test_monitor_disables_data_windows(self):
+        # The data-carrying kinds go through the same engage gate: an
+        # attached observer must pin reduce/broadcast windows fine too.
+        on = _run("2x4", _sep_reduce, args=(3,), macro=True,
+                  monitor=HBMonitor())
+        assert on.world.macro.replays == 0
+
+
+# ----------------------------------------------------------------------
+# Reduce / broadcast windows (the macro-collectives generalization)
+# ----------------------------------------------------------------------
+class TestGoldenMatrixCollectives:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_separated_reduce_identical(self, shape):
+        on = _run(shape, _sep_reduce, args=(4,), macro=True)
+        off = _run(shape, _sep_reduce, args=(4,), macro=False)
+        _assert_golden(on, off)
+        assert not on.world.macro.inexact
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_separated_broadcast_identical(self, shape):
+        on = _run(shape, _sep_bcast, args=(4,), macro=True)
+        off = _run(shape, _sep_bcast, args=(4,), macro=False)
+        _assert_golden(on, off)
+        assert not on.world.macro.inexact
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_mixed_collectives_identical(self, shape):
+        on = _run(shape, _mixed_collectives, args=(3,), macro=True)
+        off = _run(shape, _mixed_collectives, args=(3,), macro=False)
+        _assert_golden(on, off)
+        assert not on.world.macro.inexact
+
+
+class TestSustainedCollapseFlat:
+    def test_tight_reduce_pow2(self):
+        iters = 6
+        on = _run_flat(4, _tight_reduce, args=(iters,), macro=True)
+        off = _run_flat(4, _tight_reduce, args=(iters,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == iters
+        assert not on.world.macro.inexact
+        assert on.world.macro.disabled_reason is None
+
+    @pytest.mark.parametrize("num_images", [6, 12, 25])
+    def test_tight_reduce_non_pow2(self, num_images):
+        # Non-power-of-two teams stagger the two-level fold/unfold exit
+        # instants; chained windows must still collapse every iteration
+        # — the extreme-scale acceptance scenario in miniature.
+        iters = 5
+        on = _run_flat(num_images, _tight_reduce, args=(iters,), macro=True)
+        off = _run_flat(num_images, _tight_reduce, args=(iters,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == iters
+        assert not on.world.macro.inexact
+
+    def test_tight_reduce_array_payload(self):
+        iters = 4
+        on = _run_flat(12, _tight_reduce_arr, args=(iters,), macro=True)
+        off = _run_flat(12, _tight_reduce_arr, args=(iters,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == iters
+
+    def test_tight_mixed_reduce_kinds(self):
+        # co_sum and co_min alternating: both windows join the same
+        # macro kind and every one must replay.
+        iters = 4
+        on = _run_flat(12, _tight_mixed_flat, args=(iters,), macro=True)
+        off = _run_flat(12, _tight_mixed_flat, args=(iters,), macro=False)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == 2 * iters
+        assert not on.world.macro.inexact
+
+    @pytest.mark.parametrize("num_images", [8, 12])
+    def test_tight_reduce_recursive_doubling(self, num_images):
+        rd = UHCAF_2LEVEL.with_(name="rd", reduce="recursive-doubling")
+        iters = 5
+        on = _run_flat(num_images, _tight_reduce, args=(iters,),
+                       macro=True, config=rd)
+        off = _run_flat(num_images, _tight_reduce, args=(iters,),
+                        macro=False, config=rd)
+        _assert_golden(on, off)
+        assert on.world.macro.replays == iters
+        assert not on.world.macro.inexact
+
+
+class TestCollectiveBoundaries:
+    def test_tight_broadcast_chain_stays_semantically_exact(self):
+        # Chained broadcast windows open under the previous window's
+        # staggered wakes, which a broadcast cannot commit — window 1
+        # collapses, the rest pin fine (or the audit flags the run).
+        # Results and final time must match either way.
+        on = _run_flat(8, _tight_bcast, args=(4,), macro=True)
+        off = _run_flat(8, _tight_bcast, args=(4,), macro=False)
+        assert on.results == off.results
+        assert on.time == off.time
+        assert on.world.macro.replays >= 1
+
+    def test_tight_hierarchical_reduce_boundary(self):
+        # Zero-compute reduce loop on a hierarchical shape: same
+        # exactness boundary as the barrier case — semantic state never
+        # drifts, and any timestamp drift must be flagged.
+        on = _run("2x4", _tight_reduce, args=(5,), macro=True)
+        off = _run("2x4", _tight_reduce, args=(5,), macro=False)
+        assert on.results == off.results
+        if on.time != off.time:
+            assert on.world.macro.inexact
+
+
+class TestExtremeScaleSweepPath:
+    def test_registry_capability_map(self):
+        from repro.bench.xscale import assert_macro_capable
+        from repro.collectives.registry import macro_kind
+        kinds = assert_macro_capable(UHCAF_2LEVEL)
+        assert kinds == {"barrier": "tdlb", "reduce": "reduce-2l",
+                         "broadcast": "bcast-2l"}
+        assert macro_kind("reduce", "linear-flat") is None
+        from repro.runtime.config import UHCAF_1LEVEL
+        with pytest.raises(ValueError, match="not macro-capable"):
+            assert_macro_capable(UHCAF_1LEVEL)
+
+    def test_duplicate_rung_is_byte_identical(self):
+        # The sweep path must be deterministic: the same rung run twice
+        # yields byte-identical rows (wall-clock fields aside) and an
+        # identical rendered table.
+        from repro.bench.xscale import xscale_sweep
+
+        def strip(rows):
+            return [{k: v for k, v in row.items()
+                     if not k.startswith("wall_")} for row in rows]
+
+        table_a, rows_a = xscale_sweep([24], ab_max=10_000)
+        table_b, rows_b = xscale_sweep([24], ab_max=10_000)
+        assert strip(rows_a) == strip(rows_b)
+        assert repr(strip(rows_a)) == repr(strip(rows_b))  # same bits
+        assert table_a.render() == table_b.render()
+        assert all(row["exactness"] == "exact" for row in rows_a)
+
+    def test_ab_bound_skips_fine_leg(self):
+        from repro.bench.xscale import xscale_sweep
+        _table, rows = xscale_sweep([16, 32], ab_max=16,
+                                    shapes=["reduce"])
+        by_n = {row["images"]: row for row in rows}
+        assert by_n[16]["exactness"] == "exact"
+        assert by_n[32]["exactness"] == "skipped"
+        assert "events_fine" not in by_n[32]

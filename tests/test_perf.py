@@ -10,6 +10,8 @@ from repro.perf import (
     bench_burst,
     bench_engine_dispatch,
     bench_macro_barrier,
+    bench_macro_bcast,
+    bench_macro_reduce,
     bench_sync_kernel,
     bench_tdlb_barrier,
     bench_trampoline,
@@ -110,6 +112,26 @@ class TestMicrobenchmarks:
         assert entry["events_macro"] < entry["events_fine"]
         assert entry["event_ratio"] > 5
 
+    def test_macro_reduce_collapses_chained_windows(self):
+        entry = bench_macro_reduce(iters=4, num_images=32, repeats=1)
+        assert entry["identical_final_time"]
+        assert entry["identical_results"]
+        assert not entry["inexact"]
+        # Every window replays exactly — none pinned fine.
+        assert entry["replays"] == 4
+        assert entry["events_macro"] < entry["events_fine"]
+        assert entry["event_ratio"] > 5
+
+    def test_macro_bcast_single_window_exact(self):
+        entry = bench_macro_bcast(iters=1, num_images=64, repeats=1)
+        assert entry["identical_final_time"]
+        assert entry["identical_results"]
+        assert not entry["inexact"]
+        assert entry["replays"] == 1
+        # Bounded by the arrival floor (one registration event per
+        # member), so modest — but strictly fewer events than fine.
+        assert entry["events_macro"] < entry["events_fine"]
+
 
 class TestPerfCli:
     @pytest.fixture()
@@ -123,6 +145,8 @@ class TestPerfCli:
             "tdlb_barrier": dict(iters=3, num_images=8, images_per_node=4,
                                  repeats=1),
             "macro_barrier": dict(iters=2, num_images=16, repeats=1),
+            "macro_reduce": dict(iters=2, num_images=16, repeats=1),
+            "macro_bcast": dict(iters=1, num_images=16, repeats=1),
         })
         return cli
 
@@ -135,12 +159,16 @@ class TestPerfCli:
         assert set(payload["benchmarks"]) == {
             "trampoline", "engine_dispatch", "burst", "sync_kernel",
             "tdlb_barrier", "tdlb_barrier_stats", "macro_barrier",
+            "macro_reduce", "macro_bcast",
         }
         head = payload["headline"]
         assert head["engine_events_per_sec"] > 0
         assert head["speedup_vs_legacy"] > 0
         assert head["macro_identical_final_time"] is True
         assert head["macro_event_ratio"] > 1
+        assert head["macro_reduce_exact"] is True
+        assert head["macro_bcast_exact"] is True
+        assert head["macro_reduce_event_ratio"] > 1
         assert "engine microbenchmark" in capsys.readouterr().out
 
     def test_baseline_gate_passes_and_fails(self, tiny_sizes, tmp_path):

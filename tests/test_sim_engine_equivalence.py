@@ -155,11 +155,18 @@ class TestScheduleEquivalence:
         lean, tb, _, _ = _paired_engines()
         lean.schedule(1e-6, lambda: None, label="x")
         tb.schedule(1e-6, lambda: None, label="x")
-        (lean_rec,) = lean._buckets[1e-6]
+        # default path stores a lone record bare; jittered keeps a list
+        lean_rec = lean._buckets[1e-6]
+        assert isinstance(lean_rec, tuple)
         (tb_rec,) = tb._buckets[1e-6]
         assert len(lean_rec) == 3
         assert len(tb_rec) == 5
         assert tb_rec[1] == 0.0  # the pin
+        # a second same-instant insert promotes the bare record to a list
+        lean.schedule(1e-6, lambda: None, label="y")
+        promoted = lean._buckets[1e-6]
+        assert isinstance(promoted, list) and len(promoted) == 2
+        assert promoted[0] is lean_rec
 
     def test_unpinned_seed_can_reorder(self):
         # And the converse: with a real seed the jitter may legally
