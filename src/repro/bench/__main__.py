@@ -11,6 +11,10 @@
     python -m repro.bench xscale --images 10000..100000 --rungs 3
                                              # extreme-scale ladder; rungs
                                              # above --ab-max run macro-only
+    python -m repro.bench tournament         # algorithm tournament: full
+                                             # grid, crossover table,
+                                             # TOURNAMENT.json + tuned gate
+    python -m repro.bench tournament --quick # PR-sized grid (2 shapes)
 
 (The ablation experiments E6–E10 live in ``benchmarks/`` and run under
 ``pytest benchmarks/ --benchmark-only -s``, where their assertions guard
@@ -153,6 +157,46 @@ def _parse_images_spec(spec: str) -> list[int]:
     return [int(spec)]
 
 
+def _run_tournament(args) -> int:
+    from .tournament import (
+        QUICK_SHAPES,
+        render_crossover,
+        run_tournament,
+        write_tournament_json,
+    )
+
+    shapes = None
+    if args.shapes:
+        shapes = [tok for tok in args.shapes.split(",") if tok.strip()]
+    elif args.quick:
+        shapes = list(QUICK_SHAPES)
+    bands = None
+    if args.payloads:
+        bands = [tok for tok in args.payloads.split(",") if tok.strip()]
+    doc = run_tournament(
+        shapes=shapes, bands=bands, iters=args.iters, jobs=args.jobs,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    print(render_crossover(doc))
+    if args.tournament_json:
+        write_tournament_json(doc, args.tournament_json)
+        print(f"\nwrote {args.tournament_json}")
+    # Hard gate: tuned dispatch must never lose to a hand-picked fixed
+    # algorithm (selection is zero-cost, so a loss means broken dispatch).
+    eps = 1e-9
+    tuned = doc["tuned"]
+    failed = False
+    for label, speedup in (("best single fixed",
+                            tuned["speedup_vs_best_fixed"]),
+                           ("two-level default",
+                            tuned["speedup_vs_default"])):
+        if speedup < 1.0 - eps:
+            print(f"FAIL: tuned dispatch is {speedup:.4f}x the {label} "
+                  "(must be >= 1.0x)", file=sys.stderr)
+            failed = True
+    return 2 if failed else 0
+
+
 def _run_xscale(args) -> int:
     spec = args.images
     explicit = _parse_images_spec(spec)
@@ -190,7 +234,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment",
                         choices=["barrier", "reduce", "broadcast", "hpl",
-                                 "xscale", "all"])
+                                 "xscale", "tournament", "all"])
     parser.add_argument("--nodes", type=int, nargs="+", default=[2, 8, 16, 44],
                         help="node counts to sweep (default: 2 8 16 44)")
     parser.add_argument("--ipn", type=int, default=8,
@@ -217,7 +261,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--xscale-json", default=None,
                         help="xscale mode: also write raw sweep rows to this "
                              "JSON file (CI artifact)")
+    parser.add_argument("--shapes", default=None,
+                        help="tournament mode: comma list of conformance "
+                             "shape names (default: all 8; --quick: 2)")
+    parser.add_argument("--payloads", default=None,
+                        help="tournament mode: comma list of payload bands "
+                             "(small,medium,large; default: all)")
+    parser.add_argument("--iters", type=int, default=5,
+                        help="tournament mode: timed ops per cell "
+                             "(default 5)")
+    parser.add_argument("--tournament-json", default="TOURNAMENT.json",
+                        help="tournament mode: crossover-table artifact "
+                             "path (default TOURNAMENT.json; '' disables)")
     args = parser.parse_args(argv)
+
+    if args.experiment == "tournament":
+        return _run_tournament(args)
 
     if args.experiment == "xscale":
         # macro-only cells at 100k images are single giant simulations —

@@ -1,0 +1,305 @@
+"""Algorithm tournament: measure every registered collective algorithm
+over the machine-shape × payload grid and emit the crossover table that
+tuned dispatch runs on.
+
+Production MPI libraries do not hand-pick one collective algorithm —
+their "tuned" modules carry decision tables fit by exactly this kind of
+offline sweep.  The tournament fans one benchmark cell per (kind ×
+algorithm × shape × payload band) through the exec pool, finds the
+per-regime winner, writes the whole grid plus the winners to a
+``TOURNAMENT.json`` artifact (the file
+:mod:`repro.collectives.tuned` consumes), and then **validates** the
+table: every cell is re-run with the ``"tuned"`` strategy and the table
+installed, and the aggregate tuned time is gated against both the best
+single fixed algorithm and the paper's two-level default.  Because
+selection is a zero-cost bookkeeping step, tuned's per-cell time must
+equal the per-cell winner exactly — the gate failing means dispatch is
+broken, not that the machine was slow.
+
+Shapes come from the conformance matrix
+(:data:`repro.verify.conformance.SHAPES`) so "which algorithm wins
+where" is answered on the same geometry the semantics are verified on.
+Payload bands mirror :data:`repro.collectives.tuned.PAYLOAD_BANDS`:
+1 / 1024 / 65536 float64 elements land in the small / medium / large
+band respectively (barriers only carry notify-sized payloads and sweep
+the small band alone).  All cells run with macro-events off so every
+algorithm is measured on the same fine-grained footing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..collectives import registry
+from ..collectives.tuned import CrossoverTable, install_table, shape_key
+from ..exec import TaskSpec, run_tasks
+from ..runtime.config import UHCAF_2LEVEL
+from ..verify.conformance import SHAPES
+from .microbench import (
+    barrier_benchmark,
+    broadcast_benchmark,
+    reduce_benchmark,
+)
+
+__all__ = ["PAYLOAD_NELEMS", "KINDS_SWEPT", "QUICK_SHAPES",
+           "build_grid", "run_tournament", "render_crossover"]
+
+#: float64 element counts that land exactly one payload in each band of
+#: :data:`repro.collectives.tuned.PAYLOAD_BANDS` (8 B / 8 KiB / 512 KiB)
+PAYLOAD_NELEMS: Dict[str, int] = {"small": 1, "medium": 1024, "large": 65536}
+
+#: kinds with more than one registered algorithm worth racing
+KINDS_SWEPT: Tuple[str, ...] = ("barrier", "reduce", "broadcast")
+
+#: the PR-sized grid: one intra-node-heavy shape, one multi-node shape
+QUICK_SHAPES: Tuple[str, ...] = ("1node", "2x4")
+
+#: benchmark iterations per cell (microbench adds 2 warmup ops)
+DEFAULT_TOURNAMENT_ITERS = 5
+
+_BENCH = {"barrier": barrier_benchmark, "reduce": reduce_benchmark,
+          "broadcast": broadcast_benchmark}
+
+
+# ----------------------------------------------------------------------
+# Cells — module level so they pickle into pool workers.
+# ----------------------------------------------------------------------
+def _fixed_cell(kind: str, algorithm: str, shape_name: str, band: str,
+                iters: int) -> float:
+    """Seconds per op of one fixed algorithm on one (shape, band) cell."""
+    shape = SHAPES[shape_name]
+    config = UHCAF_2LEVEL.with_(macro_events=False, **{kind: algorithm})
+    bench = _BENCH[kind]
+    kwargs = {"spec": shape.spec, "iters": iters}
+    if kind != "barrier":
+        kwargs["nelems"] = PAYLOAD_NELEMS[band]
+    result = bench(shape.num_images, shape.images_per_node, config, **kwargs)
+    return result.seconds_per_op
+
+
+def _tuned_cell(kind: str, shape_name: str, band: str, iters: int,
+                winner_rows: List[dict]) -> float:
+    """Seconds per op of tuned dispatch on one cell, with the freshly
+    measured crossover table installed (rows travel with the task so the
+    worker process sees the same table as the parent)."""
+    install_table(CrossoverTable.from_rows(winner_rows))
+    try:
+        return _fixed_cell(kind, "tuned", shape_name, band, iters)
+    finally:
+        install_table(None)
+
+
+# ----------------------------------------------------------------------
+# Grid construction and the tournament itself
+# ----------------------------------------------------------------------
+def build_grid(
+    shapes: Sequence[str], bands: Sequence[str],
+) -> List[Tuple[str, str, str, str]]:
+    """All (kind, algorithm, shape, band) cells — every registered
+    algorithm except ``tuned`` itself (it is the consumer, not a
+    contestant); barriers sweep only the small band."""
+    cells = []
+    for kind in KINDS_SWEPT:
+        names = [n for n in _registry_table(kind) if n != "tuned"]
+        kind_bands = ["small"] if kind == "barrier" else list(bands)
+        for shape_name in shapes:
+            for band in kind_bands:
+                for name in names:
+                    cells.append((kind, name, shape_name, band))
+    return cells
+
+
+def _registry_table(kind: str) -> Dict[str, object]:
+    return {"barrier": registry.BARRIERS, "reduce": registry.REDUCTIONS,
+            "broadcast": registry.BROADCASTS}[kind]
+
+
+def run_tournament(
+    shapes: Optional[Sequence[str]] = None,
+    bands: Optional[Sequence[str]] = None,
+    iters: int = DEFAULT_TOURNAMENT_ITERS,
+    jobs=None,
+    progress=None,
+) -> dict:
+    """Run the full tournament; returns the TOURNAMENT.json document.
+
+    The document carries the raw ``grid`` (every measured cell), the
+    per-regime ``winners`` (the crossover table tuned dispatch loads),
+    and the ``tuned`` validation block with aggregate speedups against
+    the best single fixed algorithm and the two-level default.
+    """
+    shapes = list(shapes or SHAPES)
+    bands = list(bands or PAYLOAD_NELEMS)
+    unknown = [s for s in shapes if s not in SHAPES]
+    if unknown:
+        raise ValueError(f"unknown shape(s) {unknown}; have {sorted(SHAPES)}")
+    unknown = [b for b in bands if b not in PAYLOAD_NELEMS]
+    if unknown:
+        raise ValueError(
+            f"unknown band(s) {unknown}; have {sorted(PAYLOAD_NELEMS)}")
+
+    cells = build_grid(shapes, bands)
+    tasks = [
+        TaskSpec(_fixed_cell, (kind, name, shape_name, band, iters),
+                 label=f"{kind}/{name} @ {shape_name}/{band}")
+        for kind, name, shape_name, band in cells
+    ]
+    if progress:
+        progress(f"measuring {len(tasks)} fixed-algorithm cell(s)...")
+    results = run_tasks(tasks, jobs=jobs)
+    grid: List[dict] = []
+    for (kind, name, shape_name, band), res in zip(cells, results):
+        if not res.ok:
+            raise RuntimeError(
+                f"tournament cell {kind}/{name} @ {shape_name}/{band} "
+                f"failed: {res.error}")
+        shape = SHAPES[shape_name]
+        nodes, ipn = shape_key(shape.num_images, shape.images_per_node)
+        grid.append({
+            "kind": kind, "algorithm": name, "shape": shape_name,
+            "band": band, "nodes": nodes, "ipn": ipn,
+            "seconds_per_op": res.value,
+        })
+
+    # Per-regime winners, keyed exactly as tuned dispatch looks them up:
+    # (kind, nodes, ipn, band).  Two swept shapes can share a key (e.g.
+    # "1node" and the 4-socket "numa" node both map to (1, 8)); runtime
+    # dispatch cannot tell them apart, so the winner for a shared key is
+    # the algorithm minimizing the SUMMED time over every colliding
+    # cell.  That choice makes the aggregate gate a theorem rather than
+    # a hope: per key, min-over-algorithms of the group sum is <= any
+    # one algorithm's group sum, so tuned's total is <= every fixed
+    # algorithm's total — including the best one.
+    winners: List[dict] = []
+    by_key: Dict[Tuple[str, int, int, str], List[dict]] = {}
+    for row in grid:
+        by_key.setdefault(
+            (row["kind"], row["nodes"], row["ipn"], row["band"]),
+            []).append(row)
+    for (kind, nodes, ipn, band), rows in sorted(by_key.items()):
+        totals: Dict[str, float] = {}
+        for row in rows:
+            totals[row["algorithm"]] = (totals.get(row["algorithm"], 0.0)
+                                        + row["seconds_per_op"])
+        best_name = min(totals, key=lambda n: (totals[n], n))
+        winners.append({
+            "kind": kind, "algorithm": best_name, "band": band,
+            "nodes": nodes, "ipn": ipn,
+            "seconds_per_op": totals[best_name],
+            "shapes": sorted({row["shape"] for row in rows}),
+        })
+
+    # Validation: every cell again, through tuned dispatch + this table.
+    winner_rows = [dict(w) for w in winners]
+    tuned_cells = sorted({(kind, shape_name, band)
+                          for kind, _n, shape_name, band in cells})
+    tuned_tasks = [
+        TaskSpec(_tuned_cell, (kind, shape_name, band, iters, winner_rows),
+                 label=f"{kind}/tuned @ {shape_name}/{band}")
+        for kind, shape_name, band in tuned_cells
+    ]
+    if progress:
+        progress(f"validating tuned dispatch on {len(tuned_tasks)} cell(s)...")
+    tuned_results = run_tasks(tuned_tasks, jobs=jobs)
+    tuned_grid: List[dict] = []
+    for (kind, shape_name, band), res in zip(tuned_cells, tuned_results):
+        if not res.ok:
+            raise RuntimeError(
+                f"tuned cell {kind} @ {shape_name}/{band} failed: {res.error}")
+        shape = SHAPES[shape_name]
+        nodes, ipn = shape_key(shape.num_images, shape.images_per_node)
+        tuned_grid.append({
+            "kind": kind, "shape": shape_name, "band": band,
+            "nodes": nodes, "ipn": ipn, "seconds_per_op": res.value,
+        })
+
+    # Aggregates.  "Best single fixed" = the one algorithm per kind that
+    # minimizes the total across that kind's cells — the strongest
+    # hand-picked configuration the tuned table has to beat (or tie).
+    totals_by_alg: Dict[Tuple[str, str], float] = {}
+    counts_by_alg: Dict[Tuple[str, str], int] = {}
+    for row in grid:
+        key = (row["kind"], row["algorithm"])
+        totals_by_alg[key] = totals_by_alg.get(key, 0.0) + row["seconds_per_op"]
+        counts_by_alg[key] = counts_by_alg.get(key, 0) + 1
+    best_fixed_total = 0.0
+    best_fixed_names: Dict[str, str] = {}
+    default_total = 0.0
+    tuned_total = sum(r["seconds_per_op"] for r in tuned_grid)
+    defaults = {"barrier": "tdlb", "reduce": "two-level",
+                "broadcast": "two-level"}
+    num_cells = {kind: len([c for c in tuned_cells if c[0] == kind])
+                 for kind in KINDS_SWEPT}
+    for kind in KINDS_SWEPT:
+        candidates = {name: total
+                      for (k, name), total in totals_by_alg.items()
+                      if k == kind
+                      and counts_by_alg[(k, name)] == num_cells[kind]}
+        best_name = min(candidates, key=lambda n: (candidates[n], n))
+        best_fixed_names[kind] = best_name
+        best_fixed_total += candidates[best_name]
+        default_total += candidates[defaults[kind]]
+
+    doc = {
+        "schema": CrossoverTable.SCHEMA,
+        "iters": iters,
+        "shapes": shapes,
+        "bands": bands,
+        "grid": grid,
+        "winners": winners,
+        "tuned": {
+            "per_cell": tuned_grid,
+            "total_s": tuned_total,
+            "best_fixed": best_fixed_names,
+            "best_fixed_total_s": best_fixed_total,
+            "two_level_default_total_s": default_total,
+            "speedup_vs_best_fixed":
+                best_fixed_total / tuned_total if tuned_total else 1.0,
+            "speedup_vs_default":
+                default_total / tuned_total if tuned_total else 1.0,
+        },
+    }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_crossover(doc: dict) -> str:
+    """The human-readable crossover table: which algorithm wins where,
+    and by how much over the runner-up."""
+    by_cell: Dict[Tuple[str, str, str], List[dict]] = {}
+    for row in doc["grid"]:
+        by_cell.setdefault((row["kind"], row["shape"], row["band"]),
+                           []).append(row)
+    lines = ["crossover table (winner per kind × shape × payload band):",
+             f"{'kind':<10} {'shape':<10} {'band':<7} "
+             f"{'winner':<20} {'us/op':>10}  {'runner-up margin'}"]
+    for (kind, shape_name, band) in sorted(by_cell):
+        rows = sorted(by_cell[(kind, shape_name, band)],
+                      key=lambda r: (r["seconds_per_op"], r["algorithm"]))
+        best = rows[0]
+        if len(rows) > 1:
+            ratio = rows[1]["seconds_per_op"] / best["seconds_per_op"] \
+                if best["seconds_per_op"] else 1.0
+            margin = f"{ratio:.2f}x vs {rows[1]['algorithm']}"
+        else:
+            margin = "-"
+        lines.append(
+            f"{kind:<10} {shape_name:<10} {band:<7} "
+            f"{best['algorithm']:<20} {best['seconds_per_op']*1e6:>10.3f}"
+            f"  {margin}")
+    tuned = doc["tuned"]
+    lines.append("")
+    lines.append(
+        f"tuned dispatch: {tuned['speedup_vs_best_fixed']:.4f}x best single "
+        f"fixed ({tuned['best_fixed']}), "
+        f"{tuned['speedup_vs_default']:.4f}x two-level default")
+    return "\n".join(lines)
+
+
+def write_tournament_json(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

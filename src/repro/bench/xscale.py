@@ -91,18 +91,29 @@ SHAPE_PROGRAMS = {
 }
 
 
-def assert_macro_capable(config: RuntimeConfig) -> Dict[str, str]:
+def assert_macro_capable(
+    config: RuntimeConfig, allow_fine: bool = False,
+) -> Dict[str, str]:
     """Map each swept shape to its macro window kind, or raise.
 
     Consults the strategy registry's :func:`macro_kind` so a sweep over
     a non-collapsible configuration dies before the first rung rather
     than after a multi-million-event fine-grained simulation.
+
+    Every variant now declares its capability explicitly at registration
+    (``macro_kind=None`` for always-fine-grained families like shmwin
+    and tuned dispatch, which never join macro windows and so never bet
+    in the grant audit).  With ``allow_fine=True`` such strategies map
+    to ``None`` in the returned dict instead of raising — for harnesses
+    like the tournament that sweep *every* registered variant and accept
+    fine-grained rungs; the default stays strict because an
+    extreme-scale ladder should refuse to run fine-grained by accident.
     """
     kinds = {}
     for shape, (kind, attr, _main, _iters) in SHAPE_PROGRAMS.items():
         strategy = getattr(config, attr)
         mk = macro_kind(kind, strategy)
-        if mk is None:
+        if mk is None and not allow_fine:
             raise ValueError(
                 f"{kind} strategy {strategy!r} (config {config.name!r}) is "
                 "not macro-capable; an extreme-scale sweep would run "

@@ -12,11 +12,20 @@ long-lived ``multiprocessing`` workers and guarantees:
 * **Warm reuse** — workers are spawned once (``fork`` where available,
   so the parent's imported modules come for free) and stream **chunks**
   of tasks off a shared queue, amortizing IPC and scheduling overhead
-  across many sub-10ms simulation runs.
+  across many sub-10ms simulation runs.  Each chunk is encoded with a
+  *single* ``pickle.dumps`` covering all of its tasks (shared memo
+  table, one frame per queue message) instead of one dumps per task;
+  ``stats()`` reports the encode time and an estimate of what the
+  batching saved.
 * **Robustness** — a per-task timeout kills and replaces a stuck
   worker; a crashed worker (hard exit, OOM kill) is detected, its
   in-flight task retried once on a fresh worker, and its undispatched
-  chunk remainder requeued.  A task that times out on every pooled
+  chunk remainder requeued.  Results travel over a lock-guarded pipe
+  written *synchronously* in the worker (no queue feeder thread), so a
+  hard-exiting task cannot truncate a frame and desync the shared
+  stream; if the stream is broken anyway (a worker terminated mid-send)
+  the silent-stall detector rebuilds pipes and workers once and
+  redispatches the orphaned chunks.  A task that times out on every pooled
   attempt gets one final **untimed inline attempt** in the parent — a
   hang specific to the worker environment (fork-state corruption, a
   wedged queue feeder) completes there instead of failing the cell,
@@ -49,7 +58,7 @@ import math
 import os
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from .cache import ResultCache
@@ -148,26 +157,56 @@ def _is_auto_request(jobs) -> bool:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _worker_main(slot: int, task_q, result_q) -> None:
+def _worker_main(slot: int, gen: int, task_q, result_send,
+                 result_lock) -> None:
     """Worker loop: stream chunks, report per-task starts and results.
 
-    Every result is pre-pickled here so an unpicklable return value
-    becomes an ordinary per-task error instead of poisoning the queue.
+    A chunk arrives as **one** pickle blob covering all of its tasks
+    (one ``loads`` here mirrors the single ``dumps`` on the parent's
+    dispatch path); a blob that fails to decode is reported as
+    ``badchunk`` so the parent can re-frame its tasks instead of the
+    whole pool wedging.  Every result is pre-pickled here so an
+    unpicklable return value becomes an ordinary per-task error instead
+    of poisoning the channel.
+
+    Results travel over a raw ``Pipe`` guarded by a shared lock rather
+    than an ``mp.Queue``: a queue's feeder *thread* writes frames
+    asynchronously, so a task that hard-exits the process (``os._exit``,
+    OOM kill) can truncate a frame mid-write and desync the shared
+    stream for every surviving worker.  A locked in-line ``send``
+    completes before the task function ever runs — a crash between
+    messages leaves the stream clean.
+
+    ``gen`` is this worker incarnation's spawn generation; it rides in
+    every message so the parent can tell a live worker's reports from
+    the final, already-in-the-pipe reports of a dead predecessor on the
+    same slot (crediting a stale ``pick``/``start`` to the idle
+    replacement would park the pool forever — the stall detector only
+    fires when every worker looks idle).
     """
     # Harnesses inside a worker (e.g. fuzz_schedules within run_case)
     # must not spawn nested pools off an inherited REPRO_JOBS.
     os.environ[JOBS_ENV] = "1"
+
+    def put(msg) -> None:
+        with result_lock:
+            result_send.send(msg)
+
     while True:
         msg = task_q.get()
         if msg is None:
             break
-        chunk_id, items = msg
-        result_q.put(("pick", slot, chunk_id))
-        for index, blob in items:
-            result_q.put(("start", slot, index))
+        chunk_id, blob = msg
+        put(("pick", slot, gen, chunk_id))
+        try:
+            items = pickle.loads(blob)
+        except BaseException:  # noqa: BLE001 — reported, not hidden
+            put(("badchunk", slot, gen, chunk_id))
+            continue
+        for index, (fn, args, kwargs) in items:
+            put(("start", slot, gen, index))
             t0 = time.perf_counter()
             try:
-                fn, args, kwargs = pickle.loads(blob)
                 value = fn(*args, **kwargs)
                 payload = pickle.dumps((True, value), protocol=PICKLE_PROTOCOL)
             except BaseException as exc:  # noqa: BLE001 — reported, not hidden
@@ -175,9 +214,9 @@ def _worker_main(slot: int, task_q, result_q) -> None:
                     (False, f"{type(exc).__name__}: {exc}"),
                     protocol=PICKLE_PROTOCOL,
                 )
-            result_q.put(("done", slot, index, payload,
-                          time.perf_counter() - t0))
-        result_q.put(("free", slot, chunk_id))
+            put(("done", slot, gen, index, payload,
+                 time.perf_counter() - t0))
+        put(("free", slot, gen, chunk_id))
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +225,10 @@ def _worker_main(slot: int, task_q, result_q) -> None:
 @dataclass
 class _WorkerState:
     proc: object
+    #: spawn generation — messages from an earlier incarnation of this
+    #: slot (already in the pipe when it died) carry an older gen and
+    #: must not be credited to this one
+    gen: int = 0
     #: chunk the worker announced picking up (None when idle)
     chunk: Optional[int] = None
     #: task currently executing, and when it started (monotonic)
@@ -197,12 +240,10 @@ class _WorkerState:
 
 @dataclass
 class _Chunk:
-    blobs: Dict[int, bytes]
-    #: indices not yet reported done (requeued if the holder dies)
-    remaining: Set[int] = field(default_factory=set)
-
-    def __post_init__(self):
-        self.remaining = set(self.blobs)
+    #: indices not yet reported done (requeued if the holder dies); the
+    #: task payloads themselves travel as one batch-encoded blob and are
+    #: re-encoded from the live TaskSpecs on any retry
+    remaining: Set[int]
 
 
 class WorkerPool:
@@ -222,10 +263,23 @@ class WorkerPool:
         self.retries = retries
         self.respawns = 0
         self.last_wall_s = 0.0
+        # --- dispatch-encode accounting (batch pickling) --------------
+        #: seconds spent batch-encoding chunks for dispatch
+        self.encode_s = 0.0
+        #: pickle.dumps calls on the dispatch path (one per chunk)
+        self.encode_batches = 0
+        #: tasks covered by those batch encodes
+        self.encode_tasks = 0
+        #: measured per-task cost of the old frame-each-task-individually
+        #: encoding (probed once, on the first multi-task chunk)
+        self._encode_probe: Optional[float] = None
         self._chunk_ids = itertools.count()
+        self._gens = itertools.count()
         self._workers: List[_WorkerState] = []
         self._task_q = None
-        self._result_q = None
+        self._result_recv = None
+        self._result_send = None
+        self._result_lock = None
         self._mp = None
         self._broken = False
         if self.jobs > 1:
@@ -238,7 +292,8 @@ class WorkerPool:
             method = "fork" if "fork" in mp.get_all_start_methods() else None
             self._mp = mp.get_context(method)
             self._task_q = self._mp.Queue()
-            self._result_q = self._mp.Queue()
+            self._result_recv, self._result_send = self._mp.Pipe(duplex=False)
+            self._result_lock = self._mp.Lock()
             for slot in range(self.jobs):
                 self._workers.append(self._spawn(slot))
         except Exception:
@@ -247,12 +302,51 @@ class WorkerPool:
             self._workers = []
 
     def _spawn(self, slot: int) -> _WorkerState:
+        gen = next(self._gens)
         proc = self._mp.Process(
-            target=_worker_main, args=(slot, self._task_q, self._result_q),
+            target=_worker_main,
+            args=(slot, gen, self._task_q, self._result_send,
+                  self._result_lock),
             daemon=True, name=f"repro-exec-{slot}",
         )
         proc.start()
-        return _WorkerState(proc=proc)
+        return _WorkerState(proc=proc, gen=gen)
+
+    def _rebuild(self) -> None:
+        """Replace both queues and every worker with fresh ones.
+
+        A worker hard-exiting *mid-write* can leave a truncated frame in
+        the shared result pipe; every later message on that pipe is then
+        unreadable and the pool looks permanently idle while work is
+        pending.  Fresh pipes and fresh workers recover everything
+        except the bytes that were in flight — the caller requeues the
+        orphaned chunks.  On failure the pool is marked broken and the
+        remaining work falls back inline.
+        """
+        old = self._workers
+        for state in old:
+            if state.proc.is_alive():
+                state.proc.terminate()
+                state.proc.join(timeout=1.0)
+        for q in (self._task_q, self._result_recv, self._result_send):
+            try:
+                q.close()
+            except Exception:
+                pass
+        self._workers = []
+        try:
+            self._task_q = self._mp.Queue()
+            self._result_recv, self._result_send = self._mp.Pipe(duplex=False)
+            self._result_lock = self._mp.Lock()
+            for slot in range(self.jobs):
+                self._workers.append(self._spawn(slot))
+            for fresh, prev in zip(self._workers, old):
+                fresh.busy_s = prev.busy_s
+                fresh.tasks_done = prev.tasks_done
+            self.respawns += self.jobs
+        except Exception:
+            self._broken = True
+            self._workers = []
 
     @property
     def inline(self) -> bool:
@@ -271,9 +365,11 @@ class WorkerPool:
                     state.proc.terminate()
                     state.proc.join(timeout=1.0)
             self._task_q.close()
-            self._result_q.close()
+            self._result_recv.close()
+            self._result_send.close()
         self._workers = []
-        self._task_q = self._result_q = None
+        self._task_q = None
+        self._result_recv = self._result_send = self._result_lock = None
         self._broken = True
 
     def __enter__(self) -> "WorkerPool":
@@ -284,11 +380,22 @@ class WorkerPool:
 
     # -- stats ---------------------------------------------------------
     def stats(self) -> dict:
+        # What the per-task framing of the same dispatches would have
+        # cost, minus what batch encoding actually cost: the saved
+        # cold-path time, estimated from the probed per-task rate.
+        saved = 0.0
+        if self._encode_probe is not None:
+            saved = max(0.0,
+                        self._encode_probe * self.encode_tasks - self.encode_s)
         return {
             "jobs": self.jobs,
             "inline": self.inline,
             "respawns": self.respawns,
             "wall_s": self.last_wall_s,
+            "encode_s": round(self.encode_s, 6),
+            "encode_batches": self.encode_batches,
+            "encode_tasks": self.encode_tasks,
+            "encode_saved_est_s": round(saved, 6),
             "per_worker_busy_s": [round(w.busy_s, 6) for w in self._workers],
             "per_worker_tasks": [w.tasks_done for w in self._workers],
         }
@@ -334,43 +441,109 @@ class WorkerPool:
             self.last_wall_s = time.perf_counter() - t0
             return results  # type: ignore[return-value]
 
-        # Split into pool-able (picklable) and inline tasks.
-        blobs: Dict[int, bytes] = {}
-        inline_indices: List[int] = []
-        for index, task in enumerate(tasks):
-            try:
-                blobs[index] = task.payload()
-            except Exception:
-                inline_indices.append(index)
-
-        self._run_pooled(tasks, blobs, settle)
+        # Everything enters the pooled path; tasks that turn out not to
+        # pickle are detected on their first batch encode and come back
+        # here for an inline run.
+        inline_indices = self._run_pooled(tasks, settle)
         for index in inline_indices:
             run_one_inline(index, tasks[index])
         self.last_wall_s = time.perf_counter() - t0
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    def _run_pooled(self, tasks, blobs: Dict[int, bytes], settle) -> None:
-        if not blobs:
-            return
-        pending: Set[int] = set(blobs)
+    def _run_pooled(self, tasks, settle) -> List[int]:
+        """Dispatch every task through the workers; returns the indices
+        that could not be pickled (the caller runs those inline)."""
+        if not tasks:
+            return []
+        pending: Set[int] = set(range(len(tasks)))
+        unpicklable: List[int] = []
         #: timeout-exhausted tasks awaiting one last untimed inline attempt
         fallback: Set[int] = set()
-        attempts: Dict[int, int] = {index: 0 for index in blobs}
-        dispatches: Dict[int, int] = {index: 0 for index in blobs}
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        dispatches: Dict[int, int] = {index: 0 for index in pending}
         chunks: Dict[int, _Chunk] = {}
 
+        def encode_batch(indices: Sequence[int]) -> Optional[bytes]:
+            """One ``pickle.dumps`` for the whole chunk (None on failure).
+
+            The old path framed every task individually — len(chunk)
+            dumps calls plus a list of blobs per queue message; batching
+            shares the pickle memo table and the framing overhead across
+            the chunk.  The first multi-task batch also times the
+            per-task framing once, so ``stats()`` can report the encode
+            time the batching saved.
+            """
+            items = [(i, (tasks[i].fn, tasks[i].args, tasks[i].kwargs))
+                     for i in indices]
+            t0 = time.perf_counter()
+            try:
+                blob = pickle.dumps(items, protocol=PICKLE_PROTOCOL)
+            except Exception:
+                return None
+            self.encode_s += time.perf_counter() - t0
+            self.encode_batches += 1
+            self.encode_tasks += len(items)
+            if self._encode_probe is None and len(items) > 1:
+                t1 = time.perf_counter()
+                for item in items:
+                    pickle.dumps(item, protocol=PICKLE_PROTOCOL)
+                self._encode_probe = (time.perf_counter() - t1) / len(items)
+            return blob
+
         def enqueue(indices: Sequence[int]) -> None:
+            good = list(indices)
+            blob = encode_batch(good)
+            if blob is None:
+                # Some task in the batch does not pickle: probe each one,
+                # re-batch the good subset, route the bad ones inline.
+                ok: List[int] = []
+                for i in good:
+                    task = tasks[i]
+                    try:
+                        pickle.dumps((task.fn, task.args, task.kwargs),
+                                     protocol=PICKLE_PROTOCOL)
+                        ok.append(i)
+                    except Exception:
+                        pending.discard(i)
+                        unpicklable.append(i)
+                if not ok:
+                    return
+                good = ok
+                blob = encode_batch(good)
+                if blob is None:  # unreproducible pickling failure
+                    for i in good:
+                        pending.discard(i)
+                        unpicklable.append(i)
+                    return
             chunk_id = next(self._chunk_ids)
-            chunk = _Chunk({i: blobs[i] for i in indices})
-            chunks[chunk_id] = chunk
-            for i in indices:
+            chunks[chunk_id] = _Chunk(set(good))
+            for i in good:
                 dispatches[i] = dispatches.get(i, 0) + 1
-            self._task_q.put((chunk_id, [(i, blobs[i]) for i in indices]))
+            self._task_q.put((chunk_id, blob))
+
+        def requeue_chunk(chunk_id: int) -> None:
+            """A worker could not decode ``chunk_id``: re-frame its tasks
+            (each retry re-encodes from the live specs) unless one keeps
+            failing, which fails that task rather than looping."""
+            chunk = chunks.pop(chunk_id, None)
+            if chunk is None:
+                return
+            retry = [i for i in sorted(chunk.remaining)
+                     if i in pending
+                     and dispatches.get(i, 0) <= self.retries + 1]
+            for index in sorted(chunk.remaining.difference(retry)):
+                if index in pending:
+                    finish(index, TaskResult(
+                        index=index, attempts=attempts.get(index, 0),
+                        error="chunk repeatedly failed to decode in the "
+                              "worker"))
+            if retry:
+                enqueue(retry)
 
         size = self.chunk_size or max(
-            1, min(32, math.ceil(len(blobs) / (self.jobs * 4))))
-        order = sorted(blobs)
+            1, min(32, math.ceil(len(tasks) / (self.jobs * 4))))
+        order = sorted(pending)
         for lo in range(0, len(order), size):
             enqueue(order[lo:lo + size])
 
@@ -425,11 +598,15 @@ class WorkerPool:
                 self._broken = True
 
         last_activity = time.monotonic()
+        stalled_rounds = 0
+        rebuilt = False
         while pending:
-            drained = self._drain_messages(chunks, attempts, finish)
+            drained = self._drain_messages(chunks, attempts, finish,
+                                           requeue_chunk)
             now = time.monotonic()
             if drained:
                 last_activity = now
+                stalled_rounds = 0
             else:
                 self._check_timeouts(reap)
                 self._check_deaths(reap)
@@ -447,10 +624,27 @@ class WorkerPool:
                                 for w in self._workers)
                         and all(w.proc.is_alive() for w in self._workers)
                         and self._task_q_empty()):
+                    stalled_rounds += 1
                     orphans: Set[int] = set()
                     for chunk_id in list(chunks):
                         orphans.update(i for i in chunks.pop(chunk_id).remaining
                                        if i in pending)
+                    if stalled_rounds >= 2 and not rebuilt:
+                        # Two silent stalls in a row with live, idle
+                        # workers: the requeued chunks should have
+                        # produced at least a "pick" within a stall
+                        # period, so the shared pipes themselves are
+                        # suspect (a worker hard-exiting mid-write
+                        # desyncs the result stream).  Rebuild queues
+                        # and workers once, and give the orphans a
+                        # clean dispatch slate — their earlier
+                        # dispatches went into a black hole, not a
+                        # crashing task.
+                        rebuilt = True
+                        self._rebuild()
+                        if not self._broken:
+                            for i in orphans:
+                                dispatches[i] = 0
                     retry = [i for i in sorted(orphans)
                              if dispatches.get(i, 0) <= self.retries + 1]
                     for index in sorted(orphans.difference(retry)):
@@ -482,6 +676,7 @@ class WorkerPool:
                     index=index, error=f"{type(exc).__name__}: {exc}",
                     inline=True, attempts=attempts[index] + 1,
                     wall_s=time.perf_counter() - start))
+        return sorted(unpicklable)
 
     def _task_q_empty(self) -> bool:
         """Best-effort emptiness probe of the shared task queue.
@@ -498,36 +693,51 @@ class WorkerPool:
         except (NotImplementedError, OSError):
             return True
 
-    def _drain_messages(self, chunks, attempts, finish) -> bool:
+    def _drain_messages(self, chunks, attempts, finish, requeue_chunk) -> bool:
         """Process every queued worker message; True if any arrived."""
-        import queue as _queue
-
         drained = False
         while True:
             try:
-                msg = self._result_q.get(timeout=_TICK)
-            except (_queue.Empty, OSError, EOFError):
+                if not self._result_recv.poll(_TICK):
+                    return drained
+                msg = self._result_recv.recv()
+            except (OSError, EOFError):
+                return drained
+            except Exception:
+                # Garbage frame — a worker was terminated mid-send and
+                # truncated the stream.  Stop draining; the silent-stall
+                # detector rebuilds the pipes.
                 return drained
             drained = True
-            kind = msg[0]
+            kind, slot, gen = msg[0], msg[1], msg[2]
+            # A message whose generation predates the slot's current
+            # incarnation was sent by a worker that has since died and
+            # been replaced.  Its *results* are still valid (first
+            # completion wins), but it must not mutate the replacement's
+            # bookkeeping: a stale pick/start marking an idle replacement
+            # busy would pin the stall detector open forever.
+            fresh = self._workers[slot].gen == gen
             if kind == "pick":
-                _, slot, chunk_id = msg
-                self._workers[slot].chunk = chunk_id
+                chunk_id = msg[3]
+                if fresh:
+                    self._workers[slot].chunk = chunk_id
             elif kind == "start":
-                _, slot, index = msg
-                state = self._workers[slot]
-                state.current = index
-                state.started = time.monotonic()
-                attempts[index] = attempts.get(index, 0) + 1
+                index = msg[3]
+                if fresh:
+                    state = self._workers[slot]
+                    state.current = index
+                    state.started = time.monotonic()
+                    attempts[index] = attempts.get(index, 0) + 1
             elif kind == "done":
-                _, slot, index, payload, wall = msg
-                state = self._workers[slot]
-                state.current = None
-                state.busy_s += wall
-                state.tasks_done += 1
-                chunk = chunks.get(state.chunk)
-                if chunk is not None:
-                    chunk.remaining.discard(index)
+                index, payload, wall = msg[3], msg[4], msg[5]
+                if fresh:
+                    state = self._workers[slot]
+                    state.current = None
+                    state.busy_s += wall
+                    state.tasks_done += 1
+                    chunk = chunks.get(state.chunk)
+                    if chunk is not None:
+                        chunk.remaining.discard(index)
                 ok, value = pickle.loads(payload)
                 result = TaskResult(
                     index=index, attempts=attempts.get(index, 1),
@@ -535,12 +745,17 @@ class WorkerPool:
                     **({"value": value} if ok else {"error": value}))
                 finish(index, result)
             elif kind == "free":
-                _, slot, chunk_id = msg
+                chunk_id = msg[3]
                 chunks.pop(chunk_id, None)
-                if self._workers[slot].chunk == chunk_id:
+                if fresh and self._workers[slot].chunk == chunk_id:
                     self._workers[slot].chunk = None
-            # anything else: ignore (message from an already-reaped slot)
-            if self._result_q.empty():
+            elif kind == "badchunk":
+                chunk_id = msg[3]
+                if fresh and self._workers[slot].chunk == chunk_id:
+                    self._workers[slot].chunk = None
+                requeue_chunk(chunk_id)
+            # anything else: ignore (unknown kind from a future format)
+            if not self._result_recv.poll(0):
                 return drained
 
     def _check_timeouts(self, reap) -> None:

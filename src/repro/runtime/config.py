@@ -38,6 +38,7 @@ from ..calibration import (
 __all__ = [
     "RuntimeConfig",
     "UHCAF_2LEVEL",
+    "UHCAF_TUNED",
     "UHCAF_1LEVEL",
     "GASNET_IB_DISSEMINATION",
     "CAF20_OPENUH",
@@ -93,6 +94,21 @@ UHCAF_2LEVEL = RuntimeConfig(
     broadcast="two-level",
     allgather="two-level",
     backend="openuh",
+)
+
+#: tuned auto-selection: every collective consults the persisted
+#: tournament crossover table (:mod:`repro.collectives.tuned`) and
+#: delegates to the measured-fastest algorithm for the current
+#: (shape, payload band) regime, falling back to the two-level defaults
+#: when no table row matches.  Macro-events stay off: the selection can
+#: land on any registered variant, so the config as a whole cannot
+#: promise a macro-collapsible window shape up front.
+UHCAF_TUNED = UHCAF_2LEVEL.with_(
+    name="uhcaf-tuned",
+    barrier="tuned",
+    reduce="tuned",
+    broadcast="tuned",
+    macro_events=False,
 )
 
 UHCAF_1LEVEL = RuntimeConfig(
@@ -160,6 +176,7 @@ NAMED_CONFIGS = {
     cfg.name: cfg
     for cfg in (
         UHCAF_2LEVEL,
+        UHCAF_TUNED,
         UHCAF_1LEVEL,
         GASNET_IB_DISSEMINATION,
         CAF20_OPENUH,

@@ -81,6 +81,16 @@ class TeamShared:
         # --- tagged mailboxes for data-carrying collectives --------------
         self._mail_cells: Dict[tuple, Cell] = {}
         self._mail_values: Dict[tuple, List[Any]] = {}
+        # --- node-shared window slots (shmwin collectives) ---------------
+        #: key → [value, remaining_readers]; entries free themselves when
+        #: the last expected reader takes the value, so a long run of
+        #: window collectives never accumulates dead slots
+        self._win_values: Dict[tuple, list] = {}
+        # --- tuned-dispatch selections (resolved once per team) ----------
+        #: (kind, payload band) → algorithm name, filled lazily by
+        #: :mod:`repro.collectives.tuned` the first time a tuned
+        #: collective of that regime runs on this team
+        self.tuned_selections: Dict[tuple, str] = {}
         # --- form_team rendezvous state ----------------------------------
         self.formation_counter = 0
         self._formations: Dict[int, dict] = {}
@@ -179,6 +189,32 @@ class TeamShared:
         values = self._mail_values.pop(key, [])
         self._mail_cells.pop(key, None)
         return values
+
+    # ------------------------------------------------------------------
+    # Node-shared window slots (data plane of the shmwin collectives)
+    # ------------------------------------------------------------------
+    def win_put(self, key: tuple, value: Any, readers: int) -> None:
+        """Publish ``value`` in window slot ``key`` for exactly ``readers``
+        consumers — called from store-delivery callbacks only.  With no
+        expected readers the slot is never materialized."""
+        if readers > 0:
+            self._win_values[key] = [value, readers]
+
+    def win_take(self, key: tuple) -> Any:
+        """Read window slot ``key``; the slot frees itself when its last
+        expected reader has taken the value."""
+        entry = self._win_values[key]
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._win_values[key]
+        return entry[0]
+
+    def win_peek_nbytes(self, key: tuple) -> int:
+        """Payload size of slot ``key`` without consuming it — readers
+        charge the load transfer before taking the value."""
+        from ..collectives.base import payload_nbytes
+
+        return payload_nbytes(self._win_values[key][0])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

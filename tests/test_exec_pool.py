@@ -267,3 +267,68 @@ class TestRunTasksFacade:
             b = run_tasks([TaskSpec(square, (i,)) for i in range(4, 8)],
                           pool=pool)
         assert [r.value for r in a + b] == [i * i for i in range(8)]
+
+
+class TestBatchEncoding:
+    """Dispatch chunks travel as one pickle blob per chunk."""
+
+    def test_encode_stats_counted(self):
+        with WorkerPool(jobs=2, chunk_size=8) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            results = pool.map([TaskSpec(square, (i,)) for i in range(16)])
+            assert [r.value for r in results] == [i * i for i in range(16)]
+            stats = pool.stats()
+        assert stats["encode_tasks"] == 16
+        # 16 tasks in chunks of 8 → exactly 2 dumps calls, not 16
+        assert stats["encode_batches"] == 2
+        assert stats["encode_s"] >= 0.0
+        assert stats["encode_saved_est_s"] >= 0.0
+
+    def test_unpicklable_detected_in_batch_and_run_inline(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(6)]
+        tasks[2] = TaskSpec(lambda: "closure")  # not picklable
+        with WorkerPool(jobs=2, chunk_size=3) as pool:
+            real = _pool_is_real(pool)
+            results = pool.map(tasks)
+        expected = [0, 1, "closure", 9, 16, 25]
+        assert [r.value for r in results] == expected
+        if real:
+            assert results[2].inline
+            # picklable siblings of the poisoned chunk still went pooled
+            assert not results[0].inline and not results[5].inline
+
+    def test_inline_pool_has_no_encode_cost(self):
+        with WorkerPool(jobs=1) as pool:
+            pool.map([TaskSpec(square, (i,)) for i in range(4)])
+            stats = pool.stats()
+        assert stats["encode_batches"] == 0
+        assert stats["encode_tasks"] == 0
+
+    def test_retry_reencodes_from_specs(self, tmp_path):
+        """A crash retry re-frames the task (no stale blob cache)."""
+        sentinel = tmp_path / "crashed-once"
+        with WorkerPool(jobs=2, chunk_size=2) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            results = pool.map([TaskSpec(crash_once, (str(sentinel),))]
+                               + [TaskSpec(square, (i,)) for i in range(5)])
+        assert results[0].value == "recovered"
+        assert [r.value for r in results[1:]] == [i * i for i in range(5)]
+        assert results[0].attempts >= 1
+
+    def test_pool_survives_queue_rebuild(self):
+        """Poisoned-pipe recovery: after a full queue + worker rebuild
+        (what stall recovery does when requeued chunks keep vanishing
+        silently), the pool keeps dispatching and results stay exact."""
+        with WorkerPool(jobs=2) as pool:
+            if not _pool_is_real(pool):
+                pytest.skip("no worker processes in this environment")
+            before = pool.map([TaskSpec(square, (i,)) for i in range(4)])
+            pool._rebuild()
+            assert not pool._broken
+            after = pool.map([TaskSpec(square, (i,)) for i in range(8)])
+            stats = pool.stats()
+        assert [r.value for r in before] == [i * i for i in range(4)]
+        assert [r.value for r in after] == [i * i for i in range(8)]
+        assert stats["respawns"] >= 2
