@@ -29,121 +29,32 @@ partials — picklable on purpose, so they actually reach the workers.
 from __future__ import annotations
 
 import argparse
-import functools
 import sys
 
-from ..runtime.config import (
-    CAF20_OPENUH,
-    GASNET_IB_DISSEMINATION,
-    UHCAF_1LEVEL,
-    UHCAF_2LEVEL,
-    RuntimeConfig,
-)
+from .cells import plan_experiment, plan_tasks, render_results
 from .hplbench import figure1
 from .xscale import geometric_ladder, xscale_sweep
-from .microbench import (
-    barrier_benchmark,
-    broadcast_benchmark,
-    mpi_barrier_benchmark,
-    reduce_benchmark,
-    sweep,
-)
 
 
-# ----------------------------------------------------------------------
-# Sweep cells — module level (not closures) so they pickle into workers.
-# ----------------------------------------------------------------------
-def _barrier_cell(config: RuntimeConfig, ipn: int,
-                  images: int, nodes: int) -> float:
-    return barrier_benchmark(images, ipn, config).seconds_per_op
+def _run_experiment(experiment: str, nodes: list[int], ipn: int,
+                    nelems: int, jobs=None, server: str | None = None,
+                    tenant: str | None = None) -> None:
+    """Run one sweep experiment locally or via a ``repro.serve`` job
+    server; the printed output is identical either way."""
+    plans = plan_experiment(experiment, nodes, ipn=ipn, nelems=nelems)
+    if server:
+        from ..serve.client import run_bench_remote
 
+        spec = {"kind": "bench", "experiment": experiment,
+                "nodes": list(nodes), "ipn": ipn, "nelems": nelems}
+        if tenant:
+            spec["tenant"] = tenant
+        outcomes = run_bench_remote(server, spec)
+    else:
+        from ..exec import run_tasks
 
-def _mpi_barrier_cell(tuning: str, ipn: int, images: int, nodes: int) -> float:
-    return mpi_barrier_benchmark(images, ipn, tuning).seconds_per_op
-
-
-def _reduce_cell(config: RuntimeConfig, ipn: int, nelems: int,
-                 images: int, nodes: int) -> float:
-    return reduce_benchmark(images, ipn, config,
-                            nelems=nelems).seconds_per_op
-
-
-def _broadcast_cell(config: RuntimeConfig, ipn: int, nelems: int,
-                    images: int, nodes: int) -> float:
-    return broadcast_benchmark(images, ipn, config,
-                               nelems=nelems).seconds_per_op
-
-
-def _run_barrier(nodes: list[int], ipn: int, jobs=None) -> None:
-    flat = sweep(
-        "E1: barrier latency, 1 image per node (flat hierarchy)",
-        configs=[(n, n) for n in nodes],
-        systems=[
-            ("TDLB (UHCAF 2level)",
-             functools.partial(_barrier_cell, UHCAF_2LEVEL, 1)),
-            ("pure dissemination (UHCAF 1level)",
-             functools.partial(_barrier_cell, UHCAF_1LEVEL, 1)),
-        ],
-        jobs=jobs,
-    )
-    print(flat.render())
-    print()
-    hier = sweep(
-        f"E2: barrier latency, {ipn} images per node",
-        configs=[(n * ipn, n) for n in nodes],
-        systems=[
-            ("TDLB (UHCAF 2level)",
-             functools.partial(_barrier_cell, UHCAF_2LEVEL, ipn)),
-            ("UHCAF pure dissemination",
-             functools.partial(_barrier_cell, UHCAF_1LEVEL, ipn)),
-            ("GASNet IB dissemination",
-             functools.partial(_barrier_cell, GASNET_IB_DISSEMINATION, ipn)),
-            ("CAF 2.0",
-             functools.partial(_barrier_cell, CAF20_OPENUH, ipn)),
-            ("MPI MVAPICH",
-             functools.partial(_mpi_barrier_cell, "mvapich", ipn)),
-            ("MPI Open MPI hierarch",
-             functools.partial(_mpi_barrier_cell, "openmpi-hierarch", ipn)),
-        ],
-        jobs=jobs,
-    )
-    print(hier.render())
-    print()
-    print(hier.speedup_row("TDLB (UHCAF 2level)", "UHCAF pure dissemination"))
-
-
-def _run_reduce(nodes: list[int], ipn: int, nelems: int, jobs=None) -> None:
-    table = sweep(
-        f"E3: co_sum latency, {nelems} element(s), {ipn} images per node",
-        configs=[(n * ipn, n) for n in nodes],
-        systems=[
-            ("two-level reduction",
-             functools.partial(_reduce_cell, UHCAF_2LEVEL, ipn, nelems)),
-            ("default UHCAF reduction",
-             functools.partial(_reduce_cell, UHCAF_1LEVEL, ipn, nelems)),
-        ],
-        jobs=jobs,
-    )
-    print(table.render())
-    print()
-    print(table.speedup_row("two-level reduction", "default UHCAF reduction"))
-
-
-def _run_broadcast(nodes: list[int], ipn: int, nelems: int, jobs=None) -> None:
-    table = sweep(
-        f"E4: co_broadcast latency, {nelems} element(s), {ipn} images per node",
-        configs=[(n * ipn, n) for n in nodes],
-        systems=[
-            ("two-level broadcast",
-             functools.partial(_broadcast_cell, UHCAF_2LEVEL, ipn, nelems)),
-            ("flat binomial broadcast",
-             functools.partial(_broadcast_cell, UHCAF_1LEVEL, ipn, nelems)),
-        ],
-        jobs=jobs,
-    )
-    print(table.render())
-    print()
-    print(table.speedup_row("two-level broadcast", "flat binomial broadcast"))
+        outcomes = run_tasks(plan_tasks(plans), jobs=jobs)
+    print(render_results(plans, outcomes))
 
 
 def _parse_images_spec(spec: str) -> list[int]:
@@ -246,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-j", "--jobs", default=None,
                         help="worker processes for sweep cells: an integer "
                              "or 'auto' (default: REPRO_JOBS env, else 1)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="delegate sweep cells to a repro.serve job "
+                             "server (e.g. http://127.0.0.1:8750); output "
+                             "is identical to a local run")
+    parser.add_argument("--tenant", default=None,
+                        help="tenant name reported to --server "
+                             "(default: the local username)")
     parser.add_argument("--images", default="10000",
                         help="xscale mode: image-count ladder — one integer, "
                              "a comma list, or MIN..MAX (geometric, see "
@@ -284,15 +202,12 @@ def main(argv: list[str] | None = None) -> int:
         # xscale runs sequentially and ignores -j.
         return _run_xscale(args)
 
-    if args.experiment in ("barrier", "all"):
-        _run_barrier(args.nodes, args.ipn, jobs=args.jobs)
-        print()
-    if args.experiment in ("reduce", "all"):
-        _run_reduce(args.nodes, args.ipn, args.nelems, jobs=args.jobs)
-        print()
-    if args.experiment in ("broadcast", "all"):
-        _run_broadcast(args.nodes, args.ipn, args.nelems, jobs=args.jobs)
-        print()
+    for experiment in ("barrier", "reduce", "broadcast"):
+        if args.experiment in (experiment, "all"):
+            _run_experiment(experiment, args.nodes, args.ipn, args.nelems,
+                            jobs=args.jobs, server=args.server,
+                            tenant=args.tenant)
+            print()
     if args.experiment in ("hpl", "all"):
         table = figure1(quick=args.quick)
         print(table.render())

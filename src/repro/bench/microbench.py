@@ -48,6 +48,8 @@ __all__ = [
     "broadcast_benchmark",
     "mpi_barrier_benchmark",
     "sweep",
+    "sweep_tasks",
+    "sweep_assemble",
 ]
 
 DEFAULT_ITERS = 10
@@ -188,6 +190,50 @@ def mpi_barrier_benchmark(
     return _per_op(per_image_times, traffic, iters)
 
 
+def sweep_tasks(
+    configs: Sequence[Tuple[int, int]],
+    systems: Sequence[Tuple[str, Callable[[int, int], float]]],
+) -> Tuple[List[str], list]:
+    """The grid's ``(labels, tasks)`` in canonical order: systems-major,
+    configs-minor — the one deterministic cell order every consumer of a
+    sweep (local run, job server, remote client) agrees on."""
+    from ..exec import TaskSpec
+
+    labels = [config_label(i, n) for i, n in configs]
+    tasks = [
+        TaskSpec(fn, (images, nodes), label=f"{name} @ {label}")
+        for name, fn in systems
+        for (images, nodes), label in zip(configs, labels)
+    ]
+    return labels, tasks
+
+
+def sweep_assemble(
+    title: str,
+    configs: Sequence[Tuple[int, int]],
+    systems: Sequence[Tuple[str, Callable[[int, int], float]]],
+    outcomes,
+    unit: str = "us",
+    scale: float = 1e6,
+) -> ResultTable:
+    """Fold per-cell outcomes (anything with ``ok``/``value``/``error``
+    attributes, in :func:`sweep_tasks` order) back into the table a
+    sequential run would have produced."""
+    labels = [config_label(i, n) for i, n in configs]
+    table = ResultTable(title=title, labels=labels, unit=unit)
+    outcomes = iter(outcomes)
+    for name, _fn in systems:
+        series = Series(name=name, unit=unit)
+        for label in labels:
+            tres = next(outcomes)
+            if tres.ok:
+                series.add(label, tres.value * scale)
+            else:
+                series.mark_failed(label, tres.error or "failed")
+        table.add_series(series)
+    return table
+
+
 def sweep(
     title: str,
     configs: Sequence[Tuple[int, int]],
@@ -205,23 +251,9 @@ def sweep(
     its series (with the reason listed under the table) while the rest
     of the sweep completes.
     """
-    from ..exec import TaskSpec, run_tasks
+    from ..exec import run_tasks
 
-    labels = [config_label(i, n) for i, n in configs]
-    table = ResultTable(title=title, labels=labels, unit=unit)
-    tasks = [
-        TaskSpec(fn, (images, nodes), label=f"{name} @ {label}")
-        for name, fn in systems
-        for (images, nodes), label in zip(configs, labels)
-    ]
-    outcomes = iter(run_tasks(tasks, jobs=jobs))
-    for name, fn in systems:
-        series = Series(name=name, unit=unit)
-        for label in labels:
-            tres = next(outcomes)
-            if tres.ok:
-                series.add(label, tres.value * scale)
-            else:
-                series.mark_failed(label, tres.error or "failed")
-        table.add_series(series)
-    return table
+    _labels, tasks = sweep_tasks(configs, systems)
+    outcomes = run_tasks(tasks, jobs=jobs)
+    return sweep_assemble(title, configs, systems, outcomes,
+                          unit=unit, scale=scale)

@@ -29,6 +29,7 @@ Command line::
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, source_fingerprint
 from .pool import WorkerPool, auto_jobs, resolve_jobs, run_tasks
+from .shared import SharedPoolExecutor
 from .task import (
     TaskResult,
     TaskSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "source_fingerprint",
+    "SharedPoolExecutor",
     "WorkerPool",
     "auto_jobs",
     "resolve_jobs",

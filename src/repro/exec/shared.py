@@ -1,0 +1,159 @@
+"""Sharing one :class:`~repro.exec.pool.WorkerPool` across concurrent jobs.
+
+:meth:`WorkerPool.map` is a synchronous, single-caller primitive: it
+owns the result pipe until the whole batch drains.  A multi-tenant
+server, by contrast, has many *jobs* in flight at once, each wanting to
+push cells into the same warm pool as they are discovered and collect
+results cell-by-cell.  :class:`SharedPoolExecutor` bridges the two
+models:
+
+* callers (any thread, or an asyncio loop via
+  ``asyncio.wrap_future``) call :meth:`submit` and get a
+  :class:`concurrent.futures.Future` per task;
+* a single dispatcher thread drains the submission queue, coalescing
+  everything that has arrived into one :meth:`WorkerPool.map` batch —
+  so concurrent tenants' cells genuinely interleave across the same
+  workers instead of serializing job-by-job;
+* every future resolves with the task's :class:`TaskResult` (execution
+  *errors* are data, not exceptions — the same contract as
+  :func:`repro.exec.run_tasks`); a future only ever raises if the
+  executor is shut down with work still queued.
+
+The dispatcher inherits all of the pool's robustness (crash retry,
+timeout reaping, inline fallback), and because batches are formed from
+whatever is queued at the moment the pool goes idle, a lone straggler
+cell never blocks a newly submitted job for longer than the current
+batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Tuple
+
+from .pool import WorkerPool
+from .task import TaskResult, TaskSpec
+
+__all__ = ["SharedPoolExecutor"]
+
+
+class SharedPoolExecutor:
+    """Thread-safe ``submit``/``Future`` façade over one worker pool."""
+
+    def __init__(self, jobs=None, *, chunk_size: Optional[int] = None,
+                 task_timeout: Optional[float] = None, retries: int = 1):
+        self._pool = WorkerPool(jobs, chunk_size=chunk_size,
+                                task_timeout=task_timeout, retries=retries)
+        self._queue: "queue.SimpleQueue[Optional[Tuple[TaskSpec, Future]]]" = (
+            queue.SimpleQueue())
+        self._closed = threading.Event()
+        self._submitted = 0
+        self._completed = 0
+        self._batches = 0
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="repro-exec-shared",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return self._pool.jobs
+
+    def submit(self, task: TaskSpec) -> "Future[TaskResult]":
+        """Queue ``task``; the future resolves with its TaskResult."""
+        if self._closed.is_set():
+            raise RuntimeError("SharedPoolExecutor is closed")
+        future: "Future[TaskResult]" = Future()
+        with self._lock:
+            self._submitted += 1
+        self._queue.put((task, future))
+        return future
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "batches": self._batches,
+            }
+        out.update(self._pool.stats())
+        return out
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher and reap the pool.
+
+        Tasks still queued (never handed to the pool) get a
+        ``RuntimeError`` on their future; the batch currently inside
+        ``map`` is allowed to finish.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(None)
+        self._thread.join(timeout=timeout)
+        self._pool.close()
+
+    def __enter__(self) -> "SharedPoolExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            batch: List[Tuple[TaskSpec, Future]] = [item]
+            stop = False
+            while True:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            # A future cancelled while queued (a tenant dropped its job)
+            # must not burn a worker slot.
+            live = [(task, fut) for task, fut in batch
+                    if fut.set_running_or_notify_cancel()]
+            if live:
+                tasks = [task for task, _ in live]
+
+                def settle(result: TaskResult) -> None:
+                    _, fut = live[result.index]
+                    with self._lock:
+                        self._completed += 1
+                    if not fut.done():
+                        fut.set_result(result)
+
+                try:
+                    self._pool.map(tasks, on_result=settle)
+                except BaseException as exc:  # noqa: BLE001 — pool blew up
+                    for index, (_, fut) in enumerate(live):
+                        if not fut.done():
+                            fut.set_exception(
+                                RuntimeError(f"shared pool failed: {exc}"))
+                with self._lock:
+                    self._batches += 1
+            if stop:
+                break
+        # Drain anything still queued after shutdown.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            _, fut = item
+            if fut.set_running_or_notify_cancel() and not fut.done():
+                fut.set_exception(RuntimeError("executor closed before "
+                                               "the task was dispatched"))

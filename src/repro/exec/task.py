@@ -165,6 +165,8 @@ def stable_fingerprint(task: TaskSpec) -> str:
     if task.cache_key is not None:
         material = f"override:{task.cache_key}"
     else:
-        material = (f"{_function_ref(task.fn)}|{stable_repr(task.args)}"
+        # stable_repr handles both plain module-level callables (same
+        # material as _function_ref) and functools.partial cells.
+        material = (f"{stable_repr(task.fn)}|{stable_repr(task.args)}"
                     f"|{stable_repr(task.kwargs)}")
     return hashlib.sha256(material.encode()).hexdigest()

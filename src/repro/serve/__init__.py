@@ -1,0 +1,67 @@
+"""Persistent multi-tenant experiment-grid server.
+
+``repro.serve`` turns the bench/verify CLIs into thin clients of one
+long-lived process that owns the worker pool and the result cache:
+
+* **specs** (:mod:`repro.serve.spec`) — sweep grids as JSON, expanded
+  server-side into the exact :class:`~repro.exec.task.TaskSpec` cells a
+  sequential CLI run would build (shared cache keys, shared rendering);
+* **jobs** (:mod:`repro.serve.jobs`) — per-submission state, NDJSON
+  event streams, per-tenant counters, and the in-flight dedup index
+  that lets N overlapping jobs pay for one execution per unique cell;
+* **server** (:mod:`repro.serve.server`) — the asyncio HTTP front end
+  plus the per-cell flow (in-flight → cache → shared pool) and
+  periodic cache eviction;
+* **client** (:mod:`repro.serve.client`) — the synchronous stdlib
+  client the CLIs use via ``--server URL``.
+
+Command line::
+
+    python -m repro.serve serve --port 8750 -j 4   # run a server
+    python -m repro.serve submit --server http://127.0.0.1:8750 \\
+        --spec sweep.json                          # submit + stream
+    python -m repro.serve stats --server ...       # pool/cache/tenants
+    python -m repro.serve shutdown --server ...    # graceful stop
+
+See ``docs/serving.md`` for the HTTP API, the spec schema, and the
+dedup + eviction semantics.
+"""
+
+from .client import (
+    ServerError,
+    get_job,
+    get_stats,
+    run_bench_remote,
+    run_job,
+    run_verify_remote,
+    shutdown_server,
+    stream_job,
+    submit_job,
+    wait_server,
+)
+from .jobs import InFlightIndex, Job, JobRegistry, TenantStats
+from .server import JobServer, serve_forever
+from .spec import Cell, ExpandedSpec, SpecError, expand
+
+__all__ = [
+    "ServerError",
+    "get_job",
+    "get_stats",
+    "run_bench_remote",
+    "run_job",
+    "run_verify_remote",
+    "shutdown_server",
+    "stream_job",
+    "submit_job",
+    "wait_server",
+    "InFlightIndex",
+    "Job",
+    "JobRegistry",
+    "TenantStats",
+    "JobServer",
+    "serve_forever",
+    "Cell",
+    "ExpandedSpec",
+    "SpecError",
+    "expand",
+]

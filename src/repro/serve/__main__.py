@@ -1,0 +1,160 @@
+"""CLI entry point: ``python -m repro.serve``.
+
+Subcommands::
+
+    serve      run a job server in the foreground (prints the bound
+               address, serves until POST /shutdown or Ctrl-C)
+    submit     POST a spec file (or stdin) and stream it to completion,
+               printing the rendered table the server produced
+    stats      pretty-print GET /stats
+    shutdown   POST /shutdown
+
+``serve`` owns one shared worker pool and one result cache namespace;
+every ``--server`` client of ``repro.bench`` / ``repro.verify`` and
+every ``submit`` here multiplexes onto it.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..exec.cache import DEFAULT_CACHE_DIR
+from .client import (
+    ServerError,
+    get_job,
+    get_stats,
+    run_job,
+    shutdown_server,
+)
+from .server import serve_forever
+
+_DEFAULT_SERVER = "http://127.0.0.1:8750"
+
+
+def _cmd_serve(args) -> int:
+    max_bytes = (int(args.max_cache_mb * 1024 * 1024)
+                 if args.max_cache_mb else None)
+    try:
+        asyncio.run(serve_forever(
+            host=args.host, port=args.port, jobs=args.jobs,
+            cache_root=args.cache_dir, namespace=args.namespace,
+            max_cache_bytes=max_bytes, evict_interval=args.evict_interval,
+            task_timeout=args.task_timeout,
+            announce=lambda msg: print(msg, flush=True),
+        ))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    if args.spec == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.spec) as fh:
+            raw = fh.read()
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"bad spec JSON: {exc}", file=sys.stderr)
+        return 2
+
+    def on_event(event: dict) -> None:
+        if not args.verbose:
+            return
+        if event.get("event") == "cell":
+            status = ("cached" if event.get("cached")
+                      else "deduped" if event.get("deduped")
+                      else "ok" if event.get("ok") else "FAIL")
+            print(f"  cell {event['index']:>3} {event['series']} "
+                  f"{event['label']:<12} {status}", file=sys.stderr)
+
+    try:
+        records = run_job(args.server, spec, tenant=args.tenant,
+                          on_event=on_event)
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    job_id = records[0]["job"] if records else None
+    if job_id is not None:
+        snapshot = get_job(args.server, job_id)
+        print(snapshot.get("table", ""))
+    failed = sum(1 for r in records if not r.get("ok"))
+    return 1 if failed else 0
+
+
+def _cmd_stats(args) -> int:
+    try:
+        print(json.dumps(get_stats(args.server), indent=2))
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    try:
+        shutdown_server(args.server)
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("server shutting down")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-tenant experiment-grid job server",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run a job server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8750,
+                         help="TCP port (0 = pick a free one; the bound "
+                              "address is printed)")
+    p_serve.add_argument("-j", "--jobs", default=None,
+                         help="worker processes: an integer or 'auto' "
+                              "(default: REPRO_JOBS env, else 1)")
+    p_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"result-cache root (default: "
+                              f"{DEFAULT_CACHE_DIR})")
+    p_serve.add_argument("--namespace", default="serve",
+                         help="cache namespace (default: serve)")
+    p_serve.add_argument("--max-cache-mb", type=float, default=None,
+                         help="evict oldest entries past this bound "
+                              "(default: unbounded)")
+    p_serve.add_argument("--evict-interval", type=int, default=64,
+                         help="run eviction every N cache writes "
+                              "(default: 64)")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         help="kill any single cell after this many "
+                              "seconds (default: none)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    for name, fn, desc in (
+            ("submit", _cmd_submit, "submit a spec and stream it"),
+            ("stats", _cmd_stats, "print server statistics"),
+            ("shutdown", _cmd_shutdown, "stop the server")):
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--server", default=_DEFAULT_SERVER,
+                       help=f"server URL (default: {_DEFAULT_SERVER})")
+        if name == "submit":
+            p.add_argument("--spec", required=True,
+                           help="path to a JSON spec file, or '-' for stdin")
+            p.add_argument("--tenant", default=None,
+                           help="tenant name (default: local username)")
+            p.add_argument("-v", "--verbose", action="store_true",
+                           help="print each cell as it lands")
+        p.set_defaults(fn=fn)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

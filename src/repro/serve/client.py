@@ -1,0 +1,193 @@
+"""Thin stdlib HTTP client for the experiment-grid job server.
+
+The bench/verify CLIs use this to delegate a sweep: submit the spec,
+consume the NDJSON stream into an index-ordered outcome list, and hand
+back objects the *local* table-assembly code accepts — so the printed
+output is byte-identical whether the cells ran in-process or on the
+server (shared with who knows how many other tenants).
+
+Everything here is synchronous ``http.client``; the server end is the
+asyncio side.
+"""
+
+from __future__ import annotations
+
+import getpass
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Callable, List, Optional, Tuple
+
+from .spec import outcome_shims
+
+__all__ = [
+    "ServerError",
+    "submit_job",
+    "stream_job",
+    "get_job",
+    "get_stats",
+    "shutdown_server",
+    "wait_server",
+    "run_job",
+    "run_bench_remote",
+    "run_verify_remote",
+]
+
+_DEFAULT_TIMEOUT = 600.0
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error, or a job failed server-side."""
+
+
+def _split(server: str) -> Tuple[str, int]:
+    parsed = urllib.parse.urlparse(
+        server if "//" in server else f"http://{server}")
+    if not parsed.hostname:
+        raise ServerError(f"bad server URL: {server!r}")
+    return parsed.hostname, parsed.port or 8750
+
+
+def _request(server: str, method: str, path: str, body: Optional[dict] = None,
+             headers: Optional[dict] = None,
+             timeout: float = _DEFAULT_TIMEOUT) -> dict:
+    host, port = _split(server)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json",
+                              **(headers or {})})
+        response = conn.getresponse()
+        data = response.read()
+        try:
+            parsed = json.loads(data.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServerError(f"{method} {path}: non-JSON response "
+                              f"(HTTP {response.status})")
+        if response.status >= 400:
+            detail = (parsed or {}).get("error", data.decode(errors="replace"))
+            raise ServerError(f"{method} {path}: HTTP {response.status}: "
+                              f"{detail}")
+        return parsed
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# one call per route
+# ----------------------------------------------------------------------
+def submit_job(server: str, spec: dict,
+               tenant: Optional[str] = None) -> dict:
+    """POST the spec; returns ``{"job": id, "cells": N, ...}``."""
+    headers = {"X-Tenant": tenant} if tenant else {}
+    return _request(server, "POST", "/jobs", body=spec, headers=headers)
+
+
+def stream_job(server: str, job_id: str,
+               timeout: float = _DEFAULT_TIMEOUT):
+    """Yield each NDJSON event of ``GET /jobs/<id>/stream`` as a dict."""
+    host, port = _split(server)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/stream")
+        response = conn.getresponse()
+        if response.status >= 400:
+            raise ServerError(f"stream {job_id}: HTTP {response.status}: "
+                              f"{response.read().decode(errors='replace')}")
+        for raw in response:
+            line = raw.strip()
+            if line:
+                yield json.loads(line.decode())
+    finally:
+        conn.close()
+
+
+def get_job(server: str, job_id: str) -> dict:
+    return _request(server, "GET", f"/jobs/{job_id}")
+
+
+def get_stats(server: str) -> dict:
+    return _request(server, "GET", "/stats")
+
+
+def shutdown_server(server: str) -> dict:
+    return _request(server, "POST", "/shutdown")
+
+
+def wait_server(server: str, timeout: float = 20.0,
+                interval: float = 0.1) -> bool:
+    """Poll ``/healthz`` until the server answers (True) or we give up."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if _request(server, "GET", "/healthz", timeout=2.0).get("ok"):
+                return True
+        except (ServerError, OSError):
+            pass
+        time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# whole-job round trips
+# ----------------------------------------------------------------------
+def run_job(server: str, spec: dict, tenant: Optional[str] = None,
+            on_event: Optional[Callable[[dict], None]] = None) -> List[dict]:
+    """Submit ``spec``, stream it to completion, and return the cell
+    records sorted back into submission (index) order.
+
+    The stream delivers cells in *landing* order — whatever the shared
+    pool finished first, possibly interleaved with other tenants' work —
+    so this is where the deterministic order is restored.  Raises
+    :class:`ServerError` if the job (not just a cell) fails.
+    """
+    accepted = submit_job(server, spec, tenant=tenant)
+    job_id = accepted["job"]
+    cells: List[Optional[dict]] = [None] * int(accepted["cells"])
+    done: Optional[dict] = None
+    for event in stream_job(server, job_id):
+        if on_event is not None:
+            on_event(event)
+        if event.get("event") == "cell":
+            cells[event["index"]] = event
+        elif event.get("event") == "done":
+            done = event
+    if done is None:
+        raise ServerError(f"job {job_id}: stream ended without a done event")
+    if done.get("status") != "done":
+        raise ServerError(f"job {job_id}: {done.get('status')}: "
+                          f"{done.get('error', 'unknown error')}")
+    missing = [i for i, c in enumerate(cells) if c is None]
+    if missing:
+        raise ServerError(f"job {job_id}: cells never landed: {missing}")
+    return cells  # type: ignore[return-value]
+
+
+def _default_tenant(spec: dict, tenant: Optional[str]) -> Optional[str]:
+    if tenant or spec.get("tenant"):
+        return tenant
+    try:
+        return getpass.getuser()
+    except OSError:
+        return None
+
+
+def run_bench_remote(server: str, spec: dict,
+                     tenant: Optional[str] = None):
+    """Run a bench spec remotely; returns index-ordered outcome objects
+    accepted by :func:`repro.bench.cells.render_results` — the caller
+    renders locally, byte-identical to a sequential run."""
+    records = run_job(server, spec, tenant=_default_tenant(spec, tenant))
+    return outcome_shims(records)
+
+
+def run_verify_remote(server: str, spec: dict,
+                      tenant: Optional[str] = None) -> Tuple[int, int, List[dict]]:
+    """Run a verify spec remotely; returns ``(passed, total, records)``
+    where records are the index-ordered cell dicts."""
+    records = run_job(server, spec, tenant=_default_tenant(spec, tenant))
+    passed = sum(1 for r in records
+                 if r.get("ok") and (r.get("value") or {}).get("ok"))
+    return passed, len(records), records

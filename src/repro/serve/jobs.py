@@ -1,0 +1,203 @@
+"""Job registry, per-tenant accounting, and the in-flight dedup index.
+
+A **job** is one tenant's submitted sweep spec: its expanded cells, the
+per-cell outcome records as they land, and the set of live stream
+subscribers.  The **registry** owns every job plus the per-tenant
+counters surfaced at ``/stats``.
+
+The **in-flight index** is what makes the server multi-tenant in more
+than name: one :class:`asyncio.Future` per cache key currently
+executing.  A second tenant whose grid overlaps the first's *awaits the
+same future* instead of re-running the cell — N overlapping jobs cost
+one execution per unique cell, and everyone's stream gets the value the
+moment it lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .spec import ExpandedSpec
+
+__all__ = ["TenantStats", "Job", "JobRegistry", "InFlightIndex"]
+
+
+@dataclass
+class TenantStats:
+    """Counters for one tenant, reported at ``/stats``."""
+
+    jobs: int = 0
+    cells: int = 0
+    #: cells this tenant's jobs actually sent to the worker pool
+    executed: int = 0
+    #: cells served from the on-disk result cache
+    cache_hits: int = 0
+    #: cells served by awaiting another request's in-flight execution
+    deduped: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict:
+        return {"jobs": self.jobs, "cells": self.cells,
+                "executed": self.executed, "cache_hits": self.cache_hits,
+                "deduped": self.deduped, "failed": self.failed}
+
+
+class Job:
+    """One submitted spec: cells, landing-order events, subscribers."""
+
+    def __init__(self, job_id: str, tenant: str, spec: dict,
+                 expanded: ExpandedSpec):
+        self.id = job_id
+        self.tenant = tenant
+        self.spec = spec
+        self.expanded = expanded
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.status = "running"
+        self.error: Optional[str] = None
+        #: per-cell JSON records, indexed by cell index (None = pending)
+        self.outcomes: List[Optional[dict]] = [None] * len(expanded.cells)
+        #: the same records in landing order (what streams replay)
+        self.events: List[dict] = []
+        self._subscribers: List[asyncio.Queue] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o is not None)
+
+    def record(self, outcome: dict) -> None:
+        """A cell landed: remember it and wake every stream."""
+        self.outcomes[outcome["index"]] = outcome
+        self.events.append(outcome)
+        for q in self._subscribers:
+            q.put_nowait(outcome)
+
+    def finish(self, error: Optional[str] = None) -> None:
+        self.finished = time.time()
+        self.status = "failed" if error else "done"
+        self.error = error
+        done = self.done_event()
+        self.events.append(done)
+        for q in self._subscribers:
+            q.put_nowait(done)
+            q.put_nowait(None)  # end-of-stream sentinel
+        self._subscribers = []
+
+    def done_event(self) -> dict:
+        out: Dict[str, Any] = {
+            "event": "done", "job": self.id, "status": self.status,
+            "cells": len(self.outcomes), "completed": self.completed,
+            "failed_cells": sum(1 for o in self.outcomes
+                                if o is not None and not o.get("ok")),
+            "elapsed_s": round((self.finished or time.time())
+                               - self.created, 6),
+        }
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue replaying every past event, then live ones; ``None``
+        terminates the stream."""
+        q: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            q.put_nowait(event)
+        if self.status != "running":
+            q.put_nowait(None)
+        else:
+            self._subscribers.append(q)
+        return q
+
+    def snapshot(self) -> dict:
+        """The ``GET /jobs/<id>`` view (adds the final table when done)."""
+        out = {
+            "job": self.id, "tenant": self.tenant, "status": self.status,
+            "kind": self.expanded.kind, "cells": len(self.outcomes),
+            "completed": self.completed, "created": self.created,
+        }
+        if self.error:
+            out["error"] = self.error
+        if self.status == "done":
+            out["table"] = self.expanded.render(self.outcomes)
+        return out
+
+
+class JobRegistry:
+    """Every job the server has accepted, plus per-tenant counters."""
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+        self.jobs: Dict[str, Job] = {}
+        self.tenants: Dict[str, TenantStats] = {}
+
+    def create(self, tenant: str, spec: dict, expanded: ExpandedSpec) -> Job:
+        job = Job(f"j{next(self._ids):06d}", tenant, spec, expanded)
+        self.jobs[job.id] = job
+        stats = self.tenants.setdefault(tenant, TenantStats())
+        stats.jobs += 1
+        stats.cells += len(expanded.cells)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def stats(self) -> dict:
+        active = sum(1 for j in self.jobs.values() if j.status == "running")
+        return {
+            "total": len(self.jobs),
+            "active": active,
+            "tenants": {name: s.as_dict()
+                        for name, s in sorted(self.tenants.items())},
+        }
+
+
+@dataclass
+class _InFlight:
+    future: asyncio.Future
+    #: requests currently awaiting this execution beyond the one that
+    #: started it (observability only)
+    waiters: int = 0
+
+
+class InFlightIndex:
+    """Cache key → the future of its single in-flight execution."""
+
+    def __init__(self):
+        self._flights: Dict[str, _InFlight] = {}
+        #: total cell requests served by awaiting an existing flight
+        self.deduped = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def lookup(self, key: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``key``, counting the caller as a
+        dedup'd waiter; None when nothing is in flight."""
+        flight = self._flights.get(key)
+        if flight is None:
+            return None
+        flight.waiters += 1
+        self.deduped += 1
+        return flight.future
+
+    def begin(self, key: str) -> asyncio.Future:
+        """Claim ``key``: the caller is the one executing it."""
+        assert key not in self._flights, f"duplicate flight for {key[:12]}"
+        future = asyncio.get_running_loop().create_future()
+        self._flights[key] = _InFlight(future=future)
+        return future
+
+    def settle(self, key: str, result: Any) -> None:
+        """Publish the result and retire the flight.  The index entry is
+        removed *before* the future resolves, and the caller stores the
+        value in the cache *before* calling this — so a request arriving
+        at any instant sees either the flight or the cached entry, never
+        a gap that would double-execute."""
+        flight = self._flights.pop(key, None)
+        if flight is not None and not flight.future.done():
+            flight.future.set_result(result)

@@ -1,0 +1,223 @@
+"""Sweep specs: the JSON job unit the experiment-grid server executes.
+
+A **sweep spec** describes one experiment grid as data — the same grids
+the ``repro.bench`` and ``repro.verify`` CLIs run, serialized so they
+can travel over HTTP and be expanded *server-side* into independent,
+cacheable cells:
+
+``kind: "bench"`` — a §6 microbenchmark sweep::
+
+    {"kind": "bench", "experiment": "barrier",      # barrier|reduce|broadcast
+     "nodes": [2, 8, 16, 44],                        # node counts to sweep
+     "ipn": 8,                                       # images per node
+     "nelems": [1, 1024]}                            # payload bands
+                                                     # (int or list of ints)
+
+``kind: "verify"`` — a conformance-matrix run::
+
+    {"kind": "verify", "quick": true, "seeds": 3,
+     "kinds": ["barrier"], "algs": null, "shapes": ["2x4"]}
+
+Every spec may carry ``"tenant": "<name>"`` for the server's per-tenant
+accounting (the ``X-Tenant`` header wins when both are present).
+
+:func:`expand` validates a spec and returns an :class:`ExpandedSpec`:
+the deterministic ordered cell list (each cell a picklable
+:class:`~repro.exec.task.TaskSpec` — the *same* TaskSpec the sequential
+CLI would build, so cache keys are shared between CLI ``-j`` runs and
+the server), a ``summarize`` hook that shrinks a cell value to the
+JSON-safe record streamed to clients, and a ``render`` hook that folds
+ordered outcomes back into output byte-identical to the sequential CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..bench.cells import EXPERIMENTS, plan_experiment, plan_tasks, render_results
+from ..exec.task import TaskSpec
+
+__all__ = ["SpecError", "Cell", "ExpandedSpec", "expand", "outcome_shims"]
+
+
+class SpecError(ValueError):
+    """The spec is malformed; the server answers 400 with the message."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent grid cell, in the spec's deterministic order."""
+
+    index: int
+    series: str
+    label: str
+    task: TaskSpec
+
+
+@dataclass
+class _Shim:
+    """Outcome triple with the attribute shape table assembly expects."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+
+
+def outcome_shims(outcomes: Sequence[dict]) -> List[_Shim]:
+    """JSON cell records (``ok``/``value``/``error`` keys, index order)
+    as objects :func:`repro.bench.cells.render_results` accepts."""
+    return [_Shim(ok=bool(o.get("ok")), value=o.get("value"),
+                  error=o.get("error")) for o in outcomes]
+
+
+class ExpandedSpec:
+    """A validated spec: ordered cells plus serialization/rendering."""
+
+    kind: str
+    cells: List[Cell]
+
+    def summarize(self, value: Any) -> Any:
+        """Shrink a cell's computed value to a JSON-safe record."""
+        raise NotImplementedError
+
+    def render(self, outcomes: Sequence[dict]) -> str:
+        """Ordered JSON cell records → the sequential CLI's output."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def _require_int(spec: dict, field: str, default: int, lo: int = 1) -> int:
+    value = spec.get(field, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < lo:
+        raise SpecError(f"{field!r} must be an integer >= {lo}, got {value!r}")
+    return value
+
+
+def _int_list(spec: dict, field: str, default: List[int]) -> List[int]:
+    value = spec.get(field, default)
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = [value]
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(v, int) and not isinstance(v, bool)
+                       and v >= 1 for v in value)):
+        raise SpecError(f"{field!r} must be a positive integer or a "
+                        f"non-empty list of them, got {spec.get(field)!r}")
+    return value
+
+
+class BenchExpansion(ExpandedSpec):
+    kind = "bench"
+
+    def __init__(self, spec: dict):
+        experiment = spec.get("experiment")
+        if experiment not in EXPERIMENTS:
+            raise SpecError(f"'experiment' must be one of {EXPERIMENTS}, "
+                            f"got {experiment!r}")
+        nodes = _int_list(spec, "nodes", [2, 8, 16, 44])
+        ipn = _require_int(spec, "ipn", 8)
+        bands = _int_list(spec, "nelems", [1])
+        if experiment == "barrier" and len(bands) > 1:
+            raise SpecError("'barrier' has no payload axis; "
+                            "'nelems' must be a single value")
+        self.experiment = experiment
+        #: one plan list per payload band, in band order
+        self.plans = [plan for band in bands
+                      for plan in plan_experiment(experiment, nodes,
+                                                  ipn=ipn, nelems=band)]
+        tasks = plan_tasks(self.plans)
+        self.cells = []
+        index = 0
+        for plan in self.plans:
+            for name, _fn in plan.systems:
+                for images, n in plan.configs:
+                    self.cells.append(Cell(index=index, series=name,
+                                           label=f"{images}({n})",
+                                           task=tasks[index]))
+                    index += 1
+
+    def summarize(self, value: Any) -> Any:
+        return float(value)
+
+    def render(self, outcomes: Sequence[dict]) -> str:
+        return render_results(self.plans, outcome_shims(outcomes))
+
+
+# ----------------------------------------------------------------------
+# verify
+# ----------------------------------------------------------------------
+def _name_list(spec: dict, field: str) -> Optional[List[str]]:
+    value = spec.get(field)
+    if value is None:
+        return None
+    if (not isinstance(value, list)
+            or not all(isinstance(v, str) for v in value)):
+        raise SpecError(f"{field!r} must be a list of strings or null, "
+                        f"got {value!r}")
+    return value
+
+
+class VerifyExpansion(ExpandedSpec):
+    kind = "verify"
+
+    def __init__(self, spec: dict):
+        from ..verify.conformance import build_matrix, run_case
+
+        seeds = _require_int(spec, "seeds", 3)
+        quick = bool(spec.get("quick", False))
+        kinds = _name_list(spec, "kinds")
+        algs = _name_list(spec, "algs")
+        shapes = _name_list(spec, "shapes")
+        cases = build_matrix(quick=quick, kinds=kinds, algs=algs,
+                             shapes=shapes)
+        if not cases:
+            raise SpecError("no conformance cases match the given filters")
+        self.seeds = seeds
+        self.cases = cases
+        self.cells = [
+            Cell(index=i, series=f"{case.kind}/{case.alg}", label=case.label,
+                 task=TaskSpec(run_case, (case,), {"seeds": seeds},
+                               label=case.label))
+            for i, case in enumerate(cases)
+        ]
+
+    def summarize(self, value: Any) -> Any:
+        # value is a repro.verify.conformance.CaseResult; the fuzz
+        # report inside it is neither JSON- nor wire-friendly.
+        return {"ok": bool(value.ok), "seeds": int(value.seeds),
+                "detail": str(value.detail)}
+
+    def render(self, outcomes: Sequence[dict]) -> str:
+        lines = []
+        passed = 0
+        for cell, outcome in zip(self.cells, outcomes):
+            value = outcome.get("value") or {}
+            ok = bool(outcome.get("ok")) and bool(value.get("ok"))
+            if ok:
+                passed += 1
+            else:
+                detail = (outcome.get("error")
+                          or value.get("detail") or "failed")
+                lines.append(f"  {cell.label:<58} FAIL")
+                for dline in str(detail).splitlines():
+                    lines.append(f"    {dline}")
+        lines.append(f"{passed}/{len(self.cells)} case(s) passed")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+_KINDS = {"bench": BenchExpansion, "verify": VerifyExpansion}
+
+
+def expand(spec: Any) -> ExpandedSpec:
+    """Validate ``spec`` (a decoded-JSON dict) and expand its cells."""
+    if not isinstance(spec, dict):
+        raise SpecError(f"spec must be a JSON object, got "
+                        f"{type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind not in _KINDS:
+        raise SpecError(f"'kind' must be one of {sorted(_KINDS)}, "
+                        f"got {kind!r}")
+    return _KINDS[kind](spec)

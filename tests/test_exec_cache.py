@@ -103,14 +103,40 @@ class TestSourceFingerprint:
         after = source_fingerprint([tmp_path])
         assert before != after
 
-    def test_memoized_within_process(self, tmp_path):
+    def test_stat_scan_revalidates_without_explicit_invalidation(self, tmp_path):
+        """An ordinary edit (mtime/size change) is picked up by the memo's
+        stat-scan guard — no ``invalidate_fingerprint_memo()`` required.
+        This is what lets a long-lived server see source changes."""
         src = tmp_path / "mod.py"
         src.write_text("X = 1\n")
-        invalidate_fingerprint_memo()
         before = source_fingerprint([tmp_path])
-        src.write_text("X = 2\n")  # no invalidation: memo still serves
+        src.write_text("X = 2\n")  # no invalidation call on purpose
+        assert source_fingerprint([tmp_path]) != before
+
+    def test_file_set_change_revalidates(self, tmp_path):
+        (tmp_path / "a.py").write_text("A = 1\n")
+        before = source_fingerprint([tmp_path])
+        (tmp_path / "b.py").write_text("B = 1\n")
+        middle = source_fingerprint([tmp_path])
+        assert middle != before
+        (tmp_path / "b.py").unlink()
         assert source_fingerprint([tmp_path]) == before
+
+    def test_memoized_when_stats_unchanged(self, tmp_path):
+        """The scan's documented blind spot: a same-size rewrite with the
+        mtime faked back to the original is invisible — the memo serves
+        the old digest until explicitly invalidated."""
+        import os
+
+        src = tmp_path / "mod.py"
+        src.write_text("X = 1\n")
+        before = source_fingerprint([tmp_path])
+        st = src.stat()
+        src.write_text("X = 9\n")  # same size
+        os.utime(src, ns=(st.st_atime_ns, st.st_mtime_ns))
+        assert source_fingerprint([tmp_path]) == before  # memo, by design
         invalidate_fingerprint_memo()
+        assert source_fingerprint([tmp_path]) != before
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +183,115 @@ class TestResultCache:
         a.put(key, "from-a")
         hit, _ = b.get(key)
         assert not hit
+
+    def test_transient_oserror_is_a_miss_that_keeps_the_entry(
+            self, tmp_path, monkeypatch):
+        """A read that fails with a *transient* I/O error (concurrent
+        ``os.replace`` mid-read, momentary EPERM) must not destroy the
+        entry — it is almost certainly valid and the next read gets it."""
+        import builtins
+
+        cache = ResultCache(root=tmp_path)
+        key = cache.task_key(TaskSpec(job, (7,)))
+        cache.put(key, 49)
+        entry = cache._path(key)
+        real_open = builtins.open
+
+        def flaky_open(file, *args, **kwargs):
+            if str(file) == str(entry):
+                raise PermissionError(13, "transient EPERM", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky_open)
+        hit, _ = cache.get(key)
+        assert not hit
+        monkeypatch.undo()
+        assert cache.transient_errors == 1
+        assert cache.corrupt == 0
+        assert entry.exists()  # NOT unlinked
+        hit, value = cache.get(key)  # next reader is fine
+        assert hit and value == 49
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.task_key(TaskSpec(job, (1,)))
+        cache.put(key, 1)
+        # simulate a put() that died between mkstemp and os.replace
+        orphan = cache._path(key).parent / "orphanXYZ.tmp"
+        orphan.write_bytes(b"half-written")
+        assert cache.clear() == 1
+        assert not orphan.exists()
+        assert cache.total_bytes() == 0
+
+
+# ----------------------------------------------------------------------
+class TestEviction:
+    def _fill(self, cache, n, start=0):
+        for i in range(start, start + n):
+            cache.put(cache.task_key(TaskSpec(job, (i,))), b"x" * 100)
+
+    def test_aged_tmp_orphans_swept_fresh_ones_kept(self, tmp_path):
+        import os
+        import time as _time
+
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache, 1)
+        parent = cache._dir() / cache.generation()
+        old = parent / "dead.tmp"
+        old.write_bytes(b"crashed writer debris")
+        past = _time.time() - 3600
+        os.utime(old, (past, past))
+        fresh = parent / "live.tmp"
+        fresh.write_bytes(b"in-progress put")
+        out = cache.evict(tmp_grace_s=300.0)
+        assert out["tmp_removed"] == 1
+        assert not old.exists()
+        assert fresh.exists()  # inside the grace window: a live writer
+        assert cache.entry_count() == 1  # entries untouched
+
+    def test_stale_generations_swept_wholesale(self, tmp_path):
+        src_root = tmp_path / "src"
+        src_root.mkdir()
+        (src_root / "mod.py").write_text("X = 1\n")
+        cache = ResultCache(root=tmp_path / "c", source_roots=[src_root])
+        self._fill(cache, 3)
+        gen1 = cache.generation()
+        (src_root / "mod.py").write_text("X = 22\n")
+        assert cache.generation() != gen1  # stat scan saw the edit
+        self._fill(cache, 3, start=10)
+        assert cache.entry_count() == 6
+        out = cache.evict()
+        assert out["stale_generations"] == 1
+        assert out["entries_removed"] == 3
+        assert cache.entry_count() == 3
+        assert not (cache._dir() / gen1).exists()  # dirs pruned too
+
+    def test_disk_bound_holds_across_generation_churn(self, tmp_path):
+        """Three generations of source churn with a byte bound: usage
+        must stay bounded — stale generations can never hit again, so a
+        long-lived server must not let them pile up."""
+        src_root = tmp_path / "src"
+        src_root.mkdir()
+        bound = 3000
+        for gen in range(3):
+            (src_root / "mod.py").write_text(f"X = {gen}\n" * (gen + 1))
+            cache = ResultCache(root=tmp_path / "c", source_roots=[src_root])
+            self._fill(cache, 12, start=gen * 100)
+            cache.evict(max_bytes=bound)
+            assert cache.total_bytes() <= bound
+        # current-generation entries survive to serve hits
+        assert cache.entry_count() > 0
+        key = cache.task_key(TaskSpec(job, (2 * 100 + 11,)))
+        hit, _ = cache.get(key)
+        assert hit
+
+    def test_max_entries_bound(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache, 8)
+        out = cache.evict(max_entries=3)
+        assert out["entries_removed"] == 5
+        assert cache.entry_count() == 3
+        assert cache.evicted == 5
 
 
 # ----------------------------------------------------------------------

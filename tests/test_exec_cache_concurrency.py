@@ -1,0 +1,141 @@
+"""Concurrent access to the result cache and the in-flight dedup index.
+
+The cache is shared by design: parallel CLI runs, the multi-tenant job
+server, and background eviction all touch one directory tree at once.
+These tests pin the three properties that make that safe:
+
+* concurrent ``put``/``get`` on the same keys never yields a *wrong*
+  value — a reader sees a miss or the (single, correct) value, never a
+  torn entry (atomic ``os.replace`` publication);
+* eviction never breaks a reader mid-read — POSIX ``unlink`` leaves an
+  already-open handle fully readable;
+* the in-flight index fans one execution's result out to every waiter,
+  so N overlapping tenants pay for one run per unique cell.
+"""
+
+import asyncio
+import multiprocessing
+import pickle
+
+from repro.exec import ResultCache, TaskSpec
+from repro.serve.jobs import InFlightIndex
+
+
+def job(x):
+    return x * 2
+
+
+def _expected(i: int) -> str:
+    return f"value-{i}" * 20
+
+
+def _hammer_put(root, src_root, n, rounds):
+    cache = ResultCache(root=root, source_roots=[src_root])
+    for _ in range(rounds):
+        for i in range(n):
+            key = cache.task_key(TaskSpec(job, (i,)))
+            cache.put(key, _expected(i))
+
+
+def _hammer_get(root, src_root, n, rounds, out_queue):
+    cache = ResultCache(root=root, source_roots=[src_root])
+    bad = 0
+    hits = 0
+    for _ in range(rounds):
+        for i in range(n):
+            key = cache.task_key(TaskSpec(job, (i,)))
+            hit, value = cache.get(key)
+            if hit:
+                hits += 1
+                if value != _expected(i):
+                    bad += 1
+    out_queue.put((hits, bad, cache.corrupt))
+
+
+class TestTwoProcessRace:
+    def test_put_get_race_never_serves_a_torn_entry(self, tmp_path):
+        """One process rewrites the same keys in a loop while another
+        reads them: every hit must deliver the exact stored value."""
+        src_root = tmp_path / "src"
+        src_root.mkdir()
+        (src_root / "mod.py").write_text("X = 1\n")
+        root = tmp_path / "cache"
+        n, rounds = 8, 30
+        ctx = multiprocessing.get_context()
+        results: multiprocessing.Queue = ctx.Queue()
+        writer = ctx.Process(target=_hammer_put,
+                             args=(root, src_root, n, rounds))
+        reader = ctx.Process(target=_hammer_get,
+                             args=(root, src_root, n, rounds, results))
+        writer.start()
+        reader.start()
+        writer.join(60)
+        reader.join(60)
+        assert writer.exitcode == 0
+        assert reader.exitcode == 0
+        hits, bad, corrupt = results.get(timeout=10)
+        assert bad == 0, f"{bad} hit(s) delivered a wrong value"
+        assert corrupt == 0, "atomic publication must never expose a torn entry"
+        # sanity: the race actually exercised the read path
+        cache = ResultCache(root=root, source_roots=[src_root])
+        key = cache.task_key(TaskSpec(job, (0,)))
+        hit, value = cache.get(key)
+        assert hit and value == _expected(0)
+
+
+class TestEvictionVsReaders:
+    def test_unlink_leaves_open_handles_readable(self, tmp_path):
+        """A reader that already opened an entry keeps it even if
+        eviction unlinks the path underneath (POSIX semantics) — so
+        eviction never has to coordinate with in-progress reads."""
+        cache = ResultCache(root=tmp_path)
+        key = cache.task_key(TaskSpec(job, (5,)))
+        cache.put(key, {"payload": list(range(50))})
+        path = cache._path(key)
+        with open(path, "rb") as mid_read:
+            out = cache.evict(max_entries=0)  # evict *everything*
+            assert out["entries_removed"] == 1
+            assert not path.exists()
+            # the open handle still reads the full, valid entry
+            assert pickle.load(mid_read) == {"payload": list(range(50))}
+        # later readers see an ordinary miss, not an error
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.corrupt == 0
+
+
+class TestInFlightDedup:
+    def test_one_result_reaches_every_waiter(self):
+        async def scenario():
+            index = InFlightIndex()
+            key = "k" * 64
+            assert index.lookup(key) is None  # nothing in flight yet
+            future = index.begin(key)
+
+            async def wait():
+                flight = index.lookup(key)
+                assert flight is not None
+                return await flight
+
+            waiters = [asyncio.ensure_future(wait()) for _ in range(5)]
+            await asyncio.sleep(0)  # let every waiter reach the await
+            assert len(index) == 1
+            index.settle(key, (True, 42, None, 0.5))
+            got = await asyncio.gather(*waiters)
+            assert got == [(True, 42, None, 0.5)] * 5
+            assert len(index) == 0  # flight retired
+            assert index.deduped == 5
+            assert index.lookup(key) is None  # next request re-executes
+            future.result()  # the executing side's future resolved too
+
+        asyncio.run(scenario())
+
+    def test_settle_is_idempotent_and_tolerates_unknown_keys(self):
+        async def scenario():
+            index = InFlightIndex()
+            index.begin("a" * 64)
+            index.settle("a" * 64, "first")
+            index.settle("a" * 64, "second")  # no-op, no raise
+            index.settle("b" * 64, "never-began")  # no-op, no raise
+
+        asyncio.run(scenario())
